@@ -1,0 +1,20 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark file regenerates one table or figure of the paper and
+prints it (run with ``-s`` to see the artifacts inline; they are also
+attached to the pytest-benchmark ``extra_info``).
+"""
+
+import pytest
+
+from repro.benchsuite import measure_suite
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """The full Figure 3/4 measurement campaign (run once per session)."""
+    return measure_suite(scheduling_effects=True)

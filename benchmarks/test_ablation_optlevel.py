@@ -1,0 +1,117 @@
+"""Ablation: optimization level vs Smokestack's entropy and overhead.
+
+The paper hardens Clang ``-O2`` binaries, where most scalars live in
+registers: the permutable frame holds buffers, aggregates and
+address-taken locals.  The reproduction's front-end is -O0-shaped
+(every local in memory), with an SSA mem2reg pipeline recovering the -O2
+shape.  This ablation measures what the optimization level does to the
+defense:
+
+* **slots** — mem2reg removes promotable scalars from the frame, so the
+  permutation has fewer objects to shuffle (entropy drops, the P-BOX
+  shrinks dramatically);
+* **overhead** — the absolute per-call cost (RNG + slices) is similar,
+  but the optimized baseline is leaner, so the *relative* overhead rises
+  for call-heavy code;
+* functions whose locals all promote have nothing to randomize and are
+  skipped entirely (the paper instruments only functions with automatic
+  variables).
+"""
+
+import pytest
+
+from repro.benchsuite import measure_workload
+from repro.core import SmokestackConfig, harden_source
+from repro.core.instrument import FNID_SLOT_NAME
+
+SOURCE = """
+int leaf(int a, int b) {
+    int t = a * 2;
+    return t + b;
+}
+int handler(int n) {
+    long counter = 0;
+    long limit = 50;
+    char buffer[48];
+    buffer[0] = (char)n;
+    for (long i = 0; i < limit; i++) {
+        counter += leaf((int)i, buffer[0]);
+    }
+    return (int)(counter & 0xff);
+}
+int main() { return handler(3); }
+"""
+
+
+def test_ablation_opt_level_slots_and_pbox(benchmark):
+    at_o0 = harden_source(SOURCE, SmokestackConfig(), opt_level=0)
+    at_o2 = harden_source(SOURCE, SmokestackConfig(), opt_level=2)
+
+    slots_o0 = at_o0.pbox.entry_for("handler").table.slot_count
+    slots_o2 = at_o2.pbox.entry_for("handler").table.slot_count
+    entropy_o0 = at_o0.pbox.entry_for("handler").table.permutations.entropy_bits()
+    entropy_o2 = at_o2.pbox.entry_for("handler").table.permutations.entropy_bits()
+    print()
+    print("ablation: optimization level vs frame shape (function 'handler')")
+    print(f"  -O0: {slots_o0} permutable slots, {entropy_o0:.1f} bits/invocation, "
+          f"P-BOX {at_o0.pbox_bytes():,} bytes")
+    print(f"  -O2: {slots_o2} permutable slots, {entropy_o2:.1f} bits/invocation, "
+          f"P-BOX {at_o2.pbox_bytes():,} bytes")
+
+    # mem2reg strips the promotable scalars; the buffer (+fnid) remains.
+    assert slots_o2 < slots_o0
+    assert slots_o2 == 2  # buffer + function identifier
+    assert entropy_o2 < entropy_o0
+    assert at_o2.pbox_bytes() < at_o0.pbox_bytes()
+
+    # 'leaf' has register-only locals at -O2: nothing to randomize, so the
+    # pass skips it entirely (paper §IV-B instruments functions with >= 1
+    # automatic variable).
+    assert "leaf" in {e for e in at_o0.pbox.entries}
+    assert "leaf" not in {e for e in at_o2.pbox.entries}
+    benchmark.extra_info["slots"] = {"O0": slots_o0, "O2": slots_o2}
+    benchmark(lambda: harden_source(SOURCE, SmokestackConfig(), opt_level=2))
+
+
+def test_ablation_opt_level_overhead(benchmark):
+    """Relative overhead vs optimization level on a call-heavy workload."""
+    rows = {}
+    for level in (0, 2):
+        measurement = measure_workload(
+            "perlbench", schemes=("aes-10",), opt_level=level
+        )
+        rows[level] = {
+            "base_cycles": measurement.baseline.cycles,
+            "overhead": measurement.overhead_pct("aes-10"),
+            "pbox": measurement.pbox_bytes,
+        }
+    print()
+    print("ablation: optimization level vs AES-10 overhead (perlbench)")
+    for level, row in rows.items():
+        print(
+            f"  -O{level}: baseline {row['base_cycles']:>12,.0f} cycles, "
+            f"overhead {row['overhead']:6.1f}%, P-BOX {row['pbox']:>8,}B"
+        )
+    # The optimizer makes the baseline much faster...
+    assert rows[2]["base_cycles"] < rows[0]["base_cycles"] * 0.7
+    # ...which leaves the fixed per-call randomization cost looming larger
+    # relative to it (the paper's per-call costs are measured against an
+    # -O2 baseline from the start).
+    assert rows[2]["overhead"] > rows[0]["overhead"]
+    # The P-BOX collapses: only buffers survive in frames.
+    assert rows[2]["pbox"] < rows[0]["pbox"] / 10
+    benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
+    benchmark(
+        lambda: measure_workload("xalancbmk", schemes=("aes-1",), opt_level=2)
+    )
+
+
+def test_ablation_o2_correctness_across_suite(benchmark):
+    """Hardened -O2 builds behave identically for a workload sample."""
+    for name in ("gcc", "astar", "wireshark"):
+        measurement = measure_workload(name, schemes=("aes-10",), opt_level=2)
+        assert (
+            measurement.hardened["aes-10"].int_outputs
+            == measurement.baseline.int_outputs
+        )
+    benchmark(lambda: measure_workload("hmmer", schemes=("pseudo",), opt_level=2))

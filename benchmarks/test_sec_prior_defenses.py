@@ -1,0 +1,75 @@
+"""Experiment S1 (§II-C) — prior stack randomizations fall to DOP.
+
+The paper develops a proof-of-concept DOP exploit for librelp
+CVE-2018-1000140 and shows it de-randomizes static stack-layout
+permutation and random-padding schemes via "information leak and
+semantics of the program", bypassing stack canaries with the non-linear
+snprintf write.  Smokestack's per-invocation randomization is the only
+scheme that stops it.
+
+The benchmark replays the full campaign against every defense and prints
+the verdict table; paper-expected row:
+
+    none / canary / aslr / padding / static-permute : bypassed
+    smokestack                                      : stopped
+"""
+
+import pytest
+
+from repro.attacks import run_librelp_campaign
+from repro.defenses import defense_names, make_defense
+
+RESTARTS = 4
+SEED = 2
+
+PAPER_EXPECTED = {
+    "none": "bypassed",
+    "canary": "bypassed",
+    "aslr": "bypassed",
+    "padding": "bypassed",
+    "static-permute": "bypassed",
+    "smokestack": "stopped",
+}
+
+
+@pytest.fixture(scope="module")
+def campaign_reports():
+    return {
+        name: run_librelp_campaign(make_defense(name), restarts=RESTARTS, seed=SEED)
+        for name in defense_names()
+    }
+
+
+def test_s1_librelp_vs_all_defenses(benchmark, campaign_reports):
+    print()
+    print("S1: librelp CVE-2018-1000140 DOP exploit vs stack defenses")
+    print(f"{'defense':<16}{'verdict':<10}{'paper':<10}breakdown")
+    for name, report in campaign_reports.items():
+        print(
+            f"{name:<16}{report.verdict():<10}{PAPER_EXPECTED[name]:<10}"
+            f"{report.breakdown()}"
+        )
+    for name, report in campaign_reports.items():
+        assert report.verdict() == PAPER_EXPECTED[name], name
+    benchmark.extra_info["verdicts"] = {
+        name: report.verdict() for name, report in campaign_reports.items()
+    }
+    benchmark(
+        lambda: run_librelp_campaign(make_defense("none"), restarts=1, seed=SEED)
+    )
+
+
+def test_s1_prior_bypasses_need_one_connection_burst(benchmark, campaign_reports):
+    """The leak derandomizes compile-time schemes within one process."""
+    for name in ("none", "aslr", "padding", "static-permute"):
+        assert campaign_reports[name].first_success == 0, name
+    benchmark(lambda: None)
+
+
+def test_s1_smokestack_detections(benchmark, campaign_reports):
+    """Smokestack stops the exploit; some attempts trip the fnid check."""
+    report = campaign_reports["smokestack"]
+    assert report.count("success") == 0
+    assert report.total == RESTARTS
+    benchmark.extra_info["smokestack_breakdown"] = report.breakdown()
+    benchmark(lambda: None)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The synthetic penetration matrix: six DOP attacks vs six defenses.
+
+Experiment S2 (§V-C) as a runnable script: direct and indirect overflows
+from the stack, data segment and heap — plus a VLA-origin overflow — each
+driven by an adaptive attacker that only uses channels the victims offer
+(error-report echoes, logged debug pointers, service restarts).
+
+Run:  python examples/defense_comparison.py
+"""
+
+from repro.attacks import all_scenarios, format_matrix, run_matrix
+from repro.defenses import make_defense
+
+DEFENSES = ("none", "canary", "aslr", "padding", "static-permute", "smokestack")
+
+
+def main() -> None:
+    scenarios = all_scenarios()
+    print("scenarios:")
+    for scenario in scenarios:
+        print(f"  {scenario.name:<24} {scenario.description}")
+    print()
+    print("running the matrix (6 scenarios x 6 defenses, 6 restarts each)...")
+    print()
+    grid = run_matrix(
+        scenarios,
+        [make_defense(name) for name in DEFENSES],
+        restarts=6,
+        seed=1,
+    )
+    print(format_matrix(grid))
+    print()
+    stopped_by = {name: 0 for name in DEFENSES}
+    for row in grid.values():
+        for name, report in row.items():
+            if not report.succeeded:
+                stopped_by[name] += 1
+    print("attacks stopped per defense:")
+    for name in DEFENSES:
+        bar = "#" * stopped_by[name]
+        print(f"  {name:<16} {stopped_by[name]}/{len(scenarios)}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

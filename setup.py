@@ -1,0 +1,22 @@
+"""Packaging for the Smokestack reproduction.
+
+Metadata lives here (rather than a [project] table in pyproject.toml) so
+`pip install -e .` works on offline environments without the `wheel`
+package: pip then uses the legacy `setup.py develop` editable path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Smokestack: runtime stack layout randomization against DOP attacks "
+        "(CGO 2019 reproduction)"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

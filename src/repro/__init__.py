@@ -1,0 +1,76 @@
+"""Smokestack reproduction: runtime stack-layout randomization vs DOP.
+
+Reproduction of *"Smokestack: Thwarting DOP Attacks with Runtime Stack
+Layout Randomization"* (Aga & Austin, CGO 2019) as a self-contained
+Python system: a Mini-C compiler, a typed IR, a byte-accurate virtual
+machine, the Smokestack hardening passes, the prior defenses the paper
+compares against, the DOP attack suite (synthetic + CVE analogues), and
+the benchmark harness regenerating the paper's tables and figures.
+
+Quick start::
+
+    from repro import harden_source, SmokestackConfig
+
+    hardened = harden_source(C_SOURCE, SmokestackConfig(scheme="aes-10"))
+    result = hardened.make_machine(inputs=[b"hello"]).run()
+    print(result.exit_code, result.int_outputs)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    HardenedProgram,
+    SmokestackConfig,
+    compile_source,
+    harden_module,
+    harden_source,
+    instrument_module,
+)
+from repro.errors import (
+    AttackError,
+    BenchmarkError,
+    FrontendError,
+    IRError,
+    LexError,
+    LoweringError,
+    ParseError,
+    ReproError,
+    SecurityViolation,
+    SemanticError,
+    VerifierError,
+    VMError,
+    VMFault,
+    VMLimitExceeded,
+    VMTrap,
+)
+from repro.vm import ExecutionResult, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackError",
+    "BenchmarkError",
+    "ExecutionResult",
+    "FrontendError",
+    "HardenedProgram",
+    "IRError",
+    "LexError",
+    "LoweringError",
+    "Machine",
+    "ParseError",
+    "ReproError",
+    "SecurityViolation",
+    "SemanticError",
+    "SmokestackConfig",
+    "VMError",
+    "VMFault",
+    "VMLimitExceeded",
+    "VMTrap",
+    "VerifierError",
+    "compile_source",
+    "harden_module",
+    "harden_source",
+    "instrument_module",
+    "__version__",
+]

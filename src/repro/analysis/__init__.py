@@ -1,0 +1,33 @@
+"""Static analyses: attacker-influence taint, DOP gadget discovery, and
+per-function randomization entropy reporting.
+"""
+
+from repro.analysis.entropy import (
+    FunctionEntropy,
+    entropy_report,
+    minimum_entropy_bits,
+    render_entropy_report,
+)
+from repro.analysis.gadgets import (
+    Dispatcher,
+    Gadget,
+    GadgetReport,
+    analyze_module,
+    find_dispatchers,
+    find_gadgets,
+)
+from repro.analysis.taint import TaintAnalysis
+
+__all__ = [
+    "Dispatcher",
+    "FunctionEntropy",
+    "Gadget",
+    "GadgetReport",
+    "TaintAnalysis",
+    "analyze_module",
+    "entropy_report",
+    "find_dispatchers",
+    "find_gadgets",
+    "minimum_entropy_bits",
+    "render_entropy_report",
+]

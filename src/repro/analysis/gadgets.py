@@ -1,0 +1,217 @@
+"""DOP gadget discovery (the paper's static-analysis step).
+
+A *DOP gadget* is an instruction sequence whose operands the attacker can
+control through memory corruption; a *gadget dispatcher* is a loop whose
+trip condition depends on corruptible data and whose body offers repeated
+corruption plus gadgets to drive (paper §II-A).  The paper reports
+discovering MOV, DEREFERENCE and STORE gadgets in librelp this way
+(§II-C); this module reproduces that capability over the reproduction's
+IR:
+
+=========  ==========================================================
+kind       pattern
+=========  ==========================================================
+``store``  ``store v, p`` with attacker-controlled pointer ``p``
+``mov``    a ``store`` gadget whose value is also controlled
+``deref``  ``load p`` with attacker-controlled pointer ``p``
+``add``    ``add/sub`` on controlled operands feeding a memory write
+``send``   output builtin with controlled pointer/length
+=========  ==========================================================
+
+Important: Smokestack does not *remove* gadgets — the hardened module
+reports the same census.  What it breaks is the attacker's ability to
+*aim* at the operands; the analysis therefore also reports, per gadget,
+whether the operand storage is randomized (lives in a permuted frame).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.analysis.taint import TaintAnalysis
+from repro.ir.instructions import BinOp, Call, CondBr, Instruction, Load, Store
+from repro.ir.module import BasicBlock, Function, Module
+from repro.opt.cfg import DominatorTree, reachable_blocks, successors
+
+#: Output builtins usable as exfiltration gadgets.
+_SEND_BUILTINS = frozenset({"output_bytes", "print_str"})
+#: Input builtins providing the corruption opportunity inside a loop.
+_INPUT_BUILTINS = frozenset(
+    {"input_read", "input_read_unbounded", "snprintf_sim", "sstrncpy_",
+     "strcpy_", "memcpy_"}
+)
+
+
+class Gadget(NamedTuple):
+    """One discovered gadget."""
+
+    kind: str                 # store | mov | deref | add | sub | send
+    function: str
+    block: str
+    instruction: Instruction
+
+
+class Dispatcher(NamedTuple):
+    """A loop usable to chain gadget executions."""
+
+    function: str
+    header: str
+    condition_controlled: bool
+    corruption_sites: int
+    gadgets_in_body: int
+
+
+class GadgetReport:
+    """Gadget census for one module."""
+
+    def __init__(self):
+        self.gadgets: List[Gadget] = []
+        self.dispatchers: List[Dispatcher] = []
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gadget in self.gadgets:
+            counts[gadget.kind] = counts.get(gadget.kind, 0) + 1
+        return counts
+
+    def by_function(self, name: str) -> List[Gadget]:
+        return [g for g in self.gadgets if g.function == name]
+
+    def has_kinds(self, *kinds: str) -> bool:
+        available = self.kinds()
+        return all(kind in available for kind in kinds)
+
+    def usable_dispatchers(self) -> List[Dispatcher]:
+        """Dispatchers with a controlled bound, corruption and gadgets."""
+        return [
+            d for d in self.dispatchers
+            if d.condition_controlled and d.corruption_sites and d.gadgets_in_body
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"GadgetReport({sum(self.kinds().values())} gadgets "
+            f"{self.kinds()}, {len(self.dispatchers)} dispatchers)"
+        )
+
+
+def find_gadgets(function: Function, taint: Optional[TaintAnalysis] = None) -> List[Gadget]:
+    """Classify the function's instructions into DOP gadgets."""
+    taint = taint or TaintAnalysis(function)
+    gadgets: List[Gadget] = []
+    value_feeds_store: Dict[int, bool] = {}
+    for inst in function.instructions():
+        if isinstance(inst, Store):
+            value_feeds_store[id(inst.value)] = True
+    for inst in function.instructions():
+        block_label = inst.block.label if inst.block else "?"
+        if isinstance(inst, Store) and taint.is_controlled(inst.pointer):
+            kind = "mov" if taint.is_controlled(inst.value) else "store"
+            gadgets.append(Gadget(kind, function.name, block_label, inst))
+        elif isinstance(inst, Load) and taint.is_controlled(inst.pointer):
+            gadgets.append(Gadget("deref", function.name, block_label, inst))
+        elif isinstance(inst, BinOp) and inst.op in ("add", "sub"):
+            controlled = all(taint.is_controlled(op) for op in inst.operands)
+            if controlled and value_feeds_store.get(id(inst), False):
+                gadgets.append(
+                    Gadget(inst.op, function.name, block_label, inst)
+                )
+        elif isinstance(inst, Call) and inst.callee_name() in _SEND_BUILTINS:
+            if any(taint.is_controlled(op) for op in inst.operands):
+                gadgets.append(Gadget("send", function.name, block_label, inst))
+    return gadgets
+
+
+def find_dispatchers(
+    function: Function, taint: Optional[TaintAnalysis] = None
+) -> List[Dispatcher]:
+    """Natural loops usable as gadget dispatchers."""
+    taint = taint or TaintAnalysis(function)
+    reachable = reachable_blocks(function)
+    tree = DominatorTree(function)
+    dispatchers: List[Dispatcher] = []
+    seen_headers = set()
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for successor in successors(block):
+            if successor in seen_headers:
+                continue
+            if not tree.dominates(successor, block):
+                continue  # not a back edge
+            header = successor
+            seen_headers.add(header)
+            body = _natural_loop(header, block, function)
+            condition_controlled = _loop_condition_controlled(
+                header, body, taint
+            )
+            corruption_sites = sum(
+                1
+                for loop_block in body
+                for inst in loop_block.instructions
+                if isinstance(inst, Call)
+                and inst.callee_name() in _INPUT_BUILTINS
+            )
+            # Calls inside the loop may reach corrupting functions too.
+            corruption_sites += sum(
+                1
+                for loop_block in body
+                for inst in loop_block.instructions
+                if isinstance(inst, Call) and not isinstance(inst.callee, str)
+            )
+            gadget_count = sum(
+                1
+                for gadget in find_gadgets(function, taint)
+                if gadget.instruction.block in body
+            )
+            dispatchers.append(
+                Dispatcher(
+                    function.name,
+                    header.label,
+                    condition_controlled,
+                    corruption_sites,
+                    gadget_count,
+                )
+            )
+    return dispatchers
+
+
+def _natural_loop(header: BasicBlock, latch: BasicBlock, function: Function):
+    """Blocks of the natural loop (header, latch, everything between)."""
+    from repro.opt.cfg import predecessors
+
+    preds = predecessors(function)
+    body = {header, latch}
+    work = [latch]
+    while work:
+        block = work.pop()
+        for pred in preds.get(block, ()):
+            if pred not in body:
+                body.add(pred)
+                if pred is not header:
+                    work.append(pred)
+    return body
+
+
+def _loop_condition_controlled(header, body, taint) -> bool:
+    """Is any exit condition of the loop attacker-controlled?"""
+    for block in body:
+        terminator = block.terminator()
+        if isinstance(terminator, CondBr):
+            exits = [
+                t for t in (terminator.true_target, terminator.false_target)
+                if t not in body
+            ]
+            if exits and taint.is_controlled(terminator.cond):
+                return True
+    return False
+
+
+def analyze_module(module: Module) -> GadgetReport:
+    """Full gadget census for a module."""
+    report = GadgetReport()
+    for function in module.functions.values():
+        taint = TaintAnalysis(function)
+        report.gadgets.extend(find_gadgets(function, taint))
+        report.dispatchers.extend(find_dispatchers(function, taint))
+    return report

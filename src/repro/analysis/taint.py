@@ -1,0 +1,109 @@
+"""Attacker-influence ("taint") analysis over IR.
+
+The DOP threat model lets the attacker overwrite stack-resident data
+(paper §III-B: full read/write of writable data memory, with the stack
+the primary vector).  This analysis computes, per function, the set of
+SSA values that *could* be attacker-controlled under that model:
+
+* seed: every ``load`` whose address is (derived from) a stack slot or a
+  writable global — the attacker may have replaced those bytes;
+* propagation: arithmetic, casts, selects, phis and address computations
+  of controlled values are controlled.
+
+The gadget finder (`repro.analysis.gadgets`) classifies instructions by
+which of their operands are controlled — exactly the discovery step the
+paper performed by "static analysis of the binary" when building its
+librelp exploit (§II-C).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    ElemPtr,
+    FieldPtr,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+)
+from repro.ir.module import Function
+from repro.ir.values import GlobalVariable, Value
+
+
+def _is_memory_root(value: Value) -> bool:
+    """Does this value denote writable memory the attacker may corrupt?"""
+    if isinstance(value, Alloca):
+        return True
+    if isinstance(value, GlobalVariable):
+        return not value.readonly
+    return False
+
+
+def _address_reaches_writable(value: Value, depth: int = 0) -> bool:
+    """Conservatively: does this pointer point into corruptible memory?"""
+    if depth > 32:
+        return True
+    if _is_memory_root(value):
+        return True
+    if isinstance(value, (ElemPtr, FieldPtr)):
+        return _address_reaches_writable(value.operands[0], depth + 1)
+    if isinstance(value, Cast):
+        return _address_reaches_writable(value.operands[0], depth + 1)
+    if isinstance(value, (Load, Call, Phi, Select)):
+        # Pointer produced at runtime (loaded, returned, merged): assume
+        # it can point at corruptible memory.
+        return True
+    return False
+
+
+class TaintAnalysis:
+    """Fixed-point attacker-influence analysis for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.controlled: Set[Instruction] = set()
+        self._run()
+
+    def _run(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for inst in self.function.instructions():
+                if inst in self.controlled:
+                    continue
+                if self._becomes_controlled(inst):
+                    self.controlled.add(inst)
+                    changed = True
+
+    def _becomes_controlled(self, inst: Instruction) -> bool:
+        if isinstance(inst, Load):
+            # Reading corruptible memory yields attacker data.
+            pointer = inst.pointer
+            if _address_reaches_writable(pointer):
+                return True
+            return self.is_controlled(pointer)
+        if isinstance(inst, (BinOp, Cmp, Cast, Select, ElemPtr, FieldPtr)):
+            return any(self.is_controlled(op) for op in inst.operands)
+        if isinstance(inst, Phi):
+            return any(self.is_controlled(value) for value, _ in inst.incomings)
+        if isinstance(inst, Call):
+            # Input builtins return attacker bytes; other calls may launder
+            # controlled arguments through return values.
+            name = inst.callee_name()
+            if name.startswith("input_"):
+                return True
+            return any(self.is_controlled(op) for op in inst.operands)
+        return False
+
+    def is_controlled(self, value: Value) -> bool:
+        """Is ``value`` (possibly) attacker-controlled?"""
+        if isinstance(value, Instruction):
+            return value in self.controlled
+        return False

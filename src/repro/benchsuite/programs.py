@@ -1,0 +1,960 @@
+"""Mini-C workloads standing in for SPEC CPU2006 + the paper's I/O apps.
+
+The paper's Figure 3/4 run SPEC 2006 and two I/O-bound applications
+(ProFTPD, Wireshark).  Full SPEC inputs are days of compute; what drives
+*relative* Smokestack overhead is the ratio of function calls to work per
+call, the frame shapes (sizes/alignments — they size the P-BOX and the
+prologue work), call depth, and for I/O apps the fraction of time spent
+blocked.  Each kernel below is a faithful miniature of its namesake along
+exactly those axes:
+
+==============  =====  ======================================  ==========
+workload        kind   character                               call rate
+==============  =====  ======================================  ==========
+perlbench       int    recursive interpreter, hash tables      very high
+bzip2           int    RLE + move-to-front block coding        medium
+gcc             int    many small passes over a tree IR        high
+mcf             int    pointer-chasing network simplex         low
+gobmk           int    board-copying game search (big frames)  high
+hmmer           int    Viterbi-style DP inner loops            low
+sjeng           int    alpha-beta game tree recursion          high
+libquantum      int    tight bit-twiddling gate loop           ~zero
+h264ref         int    4x4 block transform + SAD search        medium
+omnetpp         int    discrete event queue, tiny functions    very high
+astar           int    grid best-first search                  medium
+xalancbmk       int    string/tree transformation              high
+lbm             fp     3-point stencil relaxation (double)     ~zero
+sphinx3         fp     Gaussian scoring dot products (double)  medium
+proftpd         io     command loop dominated by io_wait       n/a
+wireshark       io     capture parse loop dominated by io_wait n/a
+==============  =====  ======================================  ==========
+
+Every workload prints a checksum; the harness verifies baseline and
+hardened builds agree (randomizing the layout must never change program
+semantics), and the run is deterministic (``guest_srand`` seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+
+class Workload(NamedTuple):
+    """One benchmark program."""
+
+    name: str
+    category: str  # "int" | "fp" | "io"
+    description: str
+    source: str
+    inputs: List[bytes]
+
+
+def _w(name: str, category: str, description: str, source: str,
+       inputs: Optional[List[bytes]] = None, arena_kb: int = 0) -> Workload:
+    """Build a workload; ``arena_kb`` adds a static working-set arena.
+
+    Real SPEC programs map hundreds of megabytes; the arena gives each
+    miniature a proportionally realistic resident set so the Figure 4
+    memory-overhead percentages (P-BOX bytes over max RSS) are on the
+    paper's scale rather than inflated by toy-sized images.
+    """
+    if arena_kb:
+        source = f"char g_arena[{arena_kb * 1024}];\n" + source
+    return Workload(name, category, description, source, inputs or [])
+
+
+PERLBENCH = _w(
+    "perlbench", "int",
+    "recursive mini-interpreter with hashing; deep, frequent small calls",
+    """
+long g_hash[256];
+
+long hash_mix(long key, long salt) {
+    long h = key * 31 + salt;
+    h = h ^ (h >> 7);
+    return h;
+}
+
+long hash_put(long key, long value) {
+    long slot = hash_mix(key, 17) & 255;
+    g_hash[slot] = g_hash[slot] + value;
+    return slot;
+}
+
+long eval_node(long depth, long seed) {
+    char pad[24];
+    long opcode = seed % 5;
+    long left = 0;
+    long right = 0;
+    long state = seed;
+    pad[0] = (char)opcode;
+    for (int spin = 0; spin < 12; spin++) {   /* opcode dispatch work */
+        state = state * 1103515245 + 12345;
+        state = state ^ (state >> 11);
+    }
+    if (depth <= 0) {
+        return (seed + state) & 1023;
+    }
+    left = eval_node(depth - 1, seed * 3 + 1);
+    right = eval_node(depth - 1, seed * 5 + 2);
+    if (opcode == 0) { return left + right; }
+    if (opcode == 1) { return left - right; }
+    if (opcode == 2) { return left ^ right; }
+    if (opcode == 3) { hash_put(left, right); return left; }
+    return (left << 1) + (right >> 1) + pad[0];
+}
+
+int main() {
+    long total = 0;
+    for (int script = 0; script < 6; script++) {
+        total += eval_node(8, script * 7919 + 13);
+    }
+    for (int i = 0; i < 256; i++) {
+        total += g_hash[i];
+    }
+    print_int(total);
+    return 0;
+}
+""",
+    arena_kb=64,
+)
+
+
+BZIP2 = _w(
+    "bzip2", "int",
+    "run-length + move-to-front block coder over a pseudo-random block",
+    """
+char g_block[4096];
+char g_mtf[256];
+
+void mtf_reset() {
+    for (int i = 0; i < 256; i++) {
+        g_mtf[i] = (char)i;
+    }
+}
+
+int mtf_encode(char *block, int n) {
+    int changed = 0;
+    for (int i = 0; i < n; i++) {
+        int value = block[i] & 0xff;
+        int j = 0;
+        while ((g_mtf[j] & 0xff) != value) {
+            j++;
+        }
+        block[i] = (char)j;
+        while (j > 0) {
+            g_mtf[j] = g_mtf[j - 1];
+            j--;
+        }
+        g_mtf[0] = (char)value;
+        changed += j;
+    }
+    return changed;
+}
+
+int rle_pass(char *block, int n) {
+    int runs = 0;
+    int i = 0;
+    while (i < n) {
+        int j = i;
+        while (j < n && block[j] == block[i]) {
+            j++;
+        }
+        runs++;
+        i = j;
+    }
+    return runs;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(42);
+    for (int i = 0; i < 4096; i++) {
+        g_block[i] = (char)(guest_rand() & 63);
+    }
+    for (int pass = 0; pass < 2; pass++) {
+        for (int chunk = 0; chunk < 4096; chunk += 256) {
+            checksum += rle_pass(g_block + chunk, 256);
+        }
+        mtf_reset();
+        for (int chunk = 0; chunk < 768; chunk += 8) {
+            checksum += mtf_encode(g_block + chunk, 8);
+        }
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=520,
+)
+
+
+GCC = _w(
+    "gcc", "int",
+    "compiler-ish pass pipeline: many distinct small functions on an IR tree",
+    """
+long g_nodes[512];
+long g_kind[512];
+
+long fold_constant(long a, long b, long kind) {
+    if (kind == 0) { return a + b; }
+    if (kind == 1) { return a * b; }
+    if (kind == 2) { return a & b; }
+    return a - b;
+}
+
+long strength_reduce(long value, long factor) {
+    char note[16];
+    note[0] = (char)factor;
+    if (factor == 2) { return value << 1; }
+    if (factor == 4) { return value << 2; }
+    return value * factor + note[0] - (char)factor;
+}
+
+long cse_lookup(long value) {
+    long slot = (value ^ (value >> 5)) & 511;
+    if (g_nodes[slot] == value) {
+        return slot;
+    }
+    g_nodes[slot] = value;
+    return -1;
+}
+
+long walk_tree(long index, long depth) {
+    long kind = g_kind[index & 511];
+    long value = g_nodes[index & 511];
+    if (depth <= 0) {
+        return value;
+    }
+    long lhs = walk_tree(index * 2 + 1, depth - 1);
+    long rhs = walk_tree(index * 2 + 2, depth - 1);
+    long folded = fold_constant(lhs, rhs, kind & 3);
+    folded = strength_reduce(folded, (kind & 7) + 1);
+    for (int peep = 0; peep < 75; peep++) {   /* peephole window scan */
+        long probe = g_nodes[(index + peep) & 511];
+        if ((probe & 3) == (folded & 3)) {
+            folded = folded + (probe >> 6);
+        }
+    }
+    if (cse_lookup(folded) >= 0) {
+        folded = folded ^ 1;
+    }
+    return folded;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(7);
+    for (int i = 0; i < 512; i++) {
+        g_nodes[i] = guest_rand() & 0xffff;
+        g_kind[i] = guest_rand() & 7;
+    }
+    for (int unit = 0; unit < 3; unit++) {
+        checksum += walk_tree(unit, 7);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=280,
+)
+
+
+MCF = _w(
+    "mcf", "int",
+    "pointer-chasing network relaxation: long loops, very few calls",
+    """
+long g_cost[2048];
+long g_next[2048];
+
+long relax_cycle(long start, long rounds) {
+    long node = start;
+    long total = 0;
+    for (long r = 0; r < rounds; r++) {
+        long hop = g_next[node & 2047];
+        long cost = g_cost[hop & 2047];
+        if (cost > total) {
+            total += cost - (total >> 3);
+        } else {
+            total += cost;
+        }
+        node = hop + r;
+    }
+    return total;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(11);
+    for (int i = 0; i < 2048; i++) {
+        g_cost[i] = guest_rand() & 255;
+        g_next[i] = guest_rand() & 2047;
+    }
+    for (int seg = 0; seg < 25; seg++) {
+        checksum += relax_cycle(seg * 3 + 1, 280);
+        checksum += relax_cycle(seg * 7 + 2, 280);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=900,
+)
+
+
+GOBMK = _w(
+    "gobmk", "int",
+    "go engine: recursive search copying large board buffers (big frames)",
+    """
+char g_board[361];
+
+long evaluate(char *board, long seed) {
+    long score = 0;
+    for (int i = 0; i < 32; i++) {
+        score += board[(seed + i * 5) % 361] * ((i & 7) + 1);
+    }
+    return score;
+}
+
+long search(char *board, long depth, long seed) {
+    char local_board[368];       /* the paper notes gobmk's huge frames */
+    char influence[128];
+    long best = -1000000;
+    memcpy_(local_board, board, 361);
+    for (int i = 0; i < 32; i++) {
+        influence[i] = (char)((local_board[(i * 3) % 361] + i) & 7);
+    }
+    if (depth <= 0) {
+        return evaluate(local_board, seed) + influence[seed & 63];
+    }
+    for (long move = 0; move < 4; move++) {
+        long spot = (seed * 131 + move * 37) % 361;
+        local_board[spot] = (char)((move & 1) + 1);
+        long value = -search(local_board, depth - 1, seed + move + 1);
+        local_board[spot] = 0;
+        if (value > best) {
+            best = value;
+        }
+    }
+    return best;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(5);
+    for (int i = 0; i < 361; i++) {
+        g_board[i] = (char)(guest_rand() % 3);
+    }
+    checksum += search(g_board, 4, 9);
+    checksum += search(g_board, 4, 123);
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=420,
+)
+
+
+HMMER = _w(
+    "hmmer", "int",
+    "profile-HMM Viterbi DP: heavy inner loops, sparse calls",
+    """
+long g_match[64];
+long g_insert[64];
+long g_seq[256];
+
+long viterbi_row(long *prev, long *curr, long emission) {
+    long best = 0;
+    for (int state = 1; state < 64; state++) {
+        long from_match = prev[state - 1] + g_match[state];
+        long from_insert = prev[state] + g_insert[state];
+        long score = from_match;
+        if (from_insert > score) {
+            score = from_insert;
+        }
+        curr[state] = score + emission;
+        if (curr[state] > best) {
+            best = curr[state];
+        }
+    }
+    return best;
+}
+
+int main() {
+    long rows_a[64];
+    long rows_b[64];
+    long checksum = 0;
+    guest_srand(13);
+    for (int i = 0; i < 64; i++) {
+        g_match[i] = guest_rand() & 15;
+        g_insert[i] = guest_rand() & 7;
+        rows_a[i] = 0;
+        rows_b[i] = 0;
+    }
+    for (int i = 0; i < 256; i++) {
+        g_seq[i] = guest_rand() & 3;
+    }
+    for (int pos = 0; pos < 96; pos++) {
+        if ((pos & 1) == 0) {
+            checksum += viterbi_row(rows_a, rows_b, g_seq[pos]);
+        } else {
+            checksum += viterbi_row(rows_b, rows_a, g_seq[pos]);
+        }
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=760,
+)
+
+
+SJENG = _w(
+    "sjeng", "int",
+    "chess-like alpha-beta with move lists on the stack",
+    """
+long g_piece[64];
+
+long score_position(long *piece, long side) {
+    long score = 0;
+    for (int i = 0; i < 64; i++) {
+        long value = piece[i];
+        if ((value & 1) == side) {
+            score += value;
+        } else {
+            score -= value >> 1;
+        }
+    }
+    return score;
+}
+
+long alphabeta(long depth, long alpha, long beta, long side, long seed) {
+    long moves[24];
+    int move_count = 0;
+    if (depth <= 0) {
+        return score_position(g_piece, side);
+    }
+    for (int i = 0; i < 6; i++) {
+        moves[move_count] = (seed * 211 + i * 29) & 63;
+        move_count++;
+    }
+    for (int i = 0; i < move_count; i++) {
+        long square = moves[i];
+        long saved = g_piece[square];
+        g_piece[square] = (saved + side + 1) & 15;
+        long value = -alphabeta(depth - 1, -beta, -alpha, 1 - side,
+                                seed + i + 1);
+        g_piece[square] = saved;
+        if (value > alpha) {
+            alpha = value;
+        }
+        if (alpha >= beta) {
+            return alpha;
+        }
+    }
+    return alpha;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(3);
+    for (int i = 0; i < 64; i++) {
+        g_piece[i] = guest_rand() & 15;
+    }
+    checksum += alphabeta(3, -100000, 100000, 0, 17);
+    checksum += alphabeta(3, -100000, 100000, 1, 99);
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=560,
+)
+
+
+LIBQUANTUM = _w(
+    "libquantum", "int",
+    "quantum gate simulation: one tight bit-twiddling loop, no calls",
+    """
+long g_state[1024];
+
+int main() {
+    long checksum = 0;
+    guest_srand(29);
+    for (int i = 0; i < 1024; i++) {
+        g_state[i] = guest_rand();
+    }
+    for (long gate = 0; gate < 12; gate++) {
+        long mask = 1 << (gate & 9);
+        for (int i = 0; i < 1024; i++) {
+            long amplitude = g_state[i];
+            amplitude = amplitude ^ mask;
+            amplitude = (amplitude << 1) | ((amplitude >> 62) & 1);
+            g_state[i] = amplitude;
+        }
+    }
+    for (int i = 0; i < 1024; i++) {
+        checksum = checksum ^ g_state[i];
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=820,
+)
+
+
+H264REF = _w(
+    "h264ref", "int",
+    "video coder: 4x4 integer transforms plus SAD motion search",
+    """
+char g_frame[4096];
+char g_ref[4096];
+
+long transform_block(char *block) {
+    long coeff[16];
+    long total = 0;
+    for (int i = 0; i < 16; i++) {
+        coeff[i] = block[i];
+    }
+    for (int i = 0; i < 4; i++) {
+        long a = coeff[i * 4 + 0] + coeff[i * 4 + 3];
+        long b = coeff[i * 4 + 1] + coeff[i * 4 + 2];
+        long c = coeff[i * 4 + 1] - coeff[i * 4 + 2];
+        long d = coeff[i * 4 + 0] - coeff[i * 4 + 3];
+        coeff[i * 4 + 0] = a + b;
+        coeff[i * 4 + 1] = (d << 1) + c;
+        coeff[i * 4 + 2] = a - b;
+        coeff[i * 4 + 3] = d - (c << 1);
+    }
+    for (int i = 0; i < 16; i++) {
+        total += coeff[i] * ((i & 3) + 1);
+    }
+    return total;
+}
+
+long sad_16(char *a, char *b) {
+    long sad = 0;
+    for (int i = 0; i < 16; i++) {
+        long diff = a[i] - b[i];
+        if (diff < 0) {
+            diff = -diff;
+        }
+        sad += diff;
+    }
+    return sad;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(19);
+    for (int i = 0; i < 4096; i++) {
+        g_frame[i] = (char)(guest_rand() & 127);
+        g_ref[i] = (char)(guest_rand() & 127);
+    }
+    for (int mb = 0; mb < 128; mb++) {
+        checksum += transform_block(g_frame + mb * 16);
+        long best = 1000000;
+        for (int cand = 0; cand < 4; cand++) {
+            long sad = sad_16(g_frame + mb * 16,
+                              g_ref + ((mb + cand * 7) & 255) * 16);
+            if (sad < best) {
+                best = sad;
+            }
+        }
+        checksum += best;
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=200,
+)
+
+
+OMNETPP = _w(
+    "omnetpp", "int",
+    "discrete event simulator: tiny functions called at very high rate",
+    """
+long g_queue_time[128];
+long g_queue_id[128];
+int g_queue_len = 0;
+
+int queue_push(long time, long id) {
+    int i = g_queue_len;
+    while (i > 0 && g_queue_time[i - 1] > time) {
+        g_queue_time[i] = g_queue_time[i - 1];
+        g_queue_id[i] = g_queue_id[i - 1];
+        i--;
+    }
+    g_queue_time[i] = time;
+    g_queue_id[i] = id;
+    g_queue_len++;
+    return i;
+}
+
+long queue_pop() {
+    long id = g_queue_id[0];
+    g_queue_len--;
+    for (int i = 0; i < g_queue_len; i++) {
+        g_queue_time[i] = g_queue_time[i + 1];
+        g_queue_id[i] = g_queue_id[i + 1];
+    }
+    return id;
+}
+
+long handle_event(long id, long now) {
+    char scratch[8];
+    long route = id;
+    scratch[0] = (char)id;
+    for (int hop = 0; hop < 30; hop++) {      /* routing table walk */
+        route = (route * 2654435761) & 1023;
+        route = route ^ (route >> 3);
+    }
+    long next = now + (route & 31) + 1;
+    if (g_queue_len < 120) {
+        queue_push(next, (id * 5 + 1) & 1023);
+    }
+    return scratch[0] + next;
+}
+
+int main() {
+    long checksum = 0;
+    long now = 0;
+    queue_push(1, 1);
+    queue_push(2, 2);
+    for (int step = 0; step < 1200; step++) {
+        if (g_queue_len == 0) {
+            break;
+        }
+        long id = queue_pop();
+        now++;
+        checksum += handle_event(id, now);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=340,
+)
+
+
+ASTAR = _w(
+    "astar", "int",
+    "grid path search with open-list scans",
+    """
+long g_grid[1024];
+long g_open[256];
+long g_cost[1024];
+
+long heuristic(long node, long goal) {
+    long dx = (node & 31) - (goal & 31);
+    long dy = (node >> 5) - (goal >> 5);
+    if (dx < 0) { dx = -dx; }
+    if (dy < 0) { dy = -dy; }
+    return dx + dy;
+}
+
+long expand(long node, long goal, int *open_len) {
+    long added = 0;
+    long deltas[4];
+    deltas[0] = 1;
+    deltas[1] = -1;
+    deltas[2] = 32;
+    deltas[3] = -32;
+    for (int d = 0; d < 4; d++) {
+        long neighbor = node + deltas[d];
+        if (neighbor < 0 || neighbor >= 1024) {
+            continue;
+        }
+        if (g_grid[neighbor] != 0) {
+            continue;
+        }
+        long new_cost = g_cost[node] + 1;
+        if (g_cost[neighbor] == 0 || new_cost < g_cost[neighbor]) {
+            g_cost[neighbor] = new_cost;
+            if (*open_len < 256) {
+                g_open[*open_len] = neighbor;
+                *open_len = *open_len + 1;
+                added++;
+            }
+        }
+    }
+    long best_f = 1000000;
+    for (int i = 0; i < *open_len && i < 32; i++) {   /* open-list scan */
+        long candidate = g_open[i];
+        long dx = (candidate & 31) - (goal & 31);
+        long dy = (candidate >> 5) - (goal >> 5);
+        if (dx < 0) { dx = -dx; }
+        if (dy < 0) { dy = -dy; }
+        long f = g_cost[candidate] + dx + dy;
+        if (f < best_f) {
+            best_f = f;
+        }
+    }
+    return added + (best_f & 255);
+}
+
+int main() {
+    long checksum = 0;
+    int open_len = 0;
+    guest_srand(23);
+    for (int i = 0; i < 1024; i++) {
+        g_grid[i] = (guest_rand() & 7) == 0 ? 1 : 0;
+        g_cost[i] = 0;
+    }
+    g_grid[0] = 0;
+    g_open[0] = 0;
+    open_len = 1;
+    g_cost[0] = 1;
+    for (int iter = 0; iter < 350 && open_len > 0; iter++) {
+        open_len--;
+        long node = g_open[open_len];
+        checksum += expand(node, 1023, &open_len);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=640,
+)
+
+
+XALANCBMK = _w(
+    "xalancbmk", "int",
+    "XML-ish transformation: string scanning with frequent helper calls",
+    """
+char g_doc[2048];
+char g_out[4096];
+int g_out_len = 0;
+
+int scan_chunk(char *doc, int start, int n) {
+    char window[8];
+    int tags = 0;
+    for (int i = 0; i < 8 && start + i < n; i++) {
+        char c = doc[start + i];
+        window[i] = c;
+        if (c == '<') {
+            tags++;
+        }
+        if (g_out_len < 4000) {
+            g_out[g_out_len] = c;
+            g_out_len++;
+        }
+    }
+    for (int i = 0; i < 8; i++) {             /* entity normalization */
+        char c = window[i & 7];
+        if (c >= 'A' && c <= 'Z') {
+            g_out_len = g_out_len + 0;
+        }
+    }
+    return tags;
+}
+
+long transform(char *doc, int n) {
+    long tags = 0;
+    for (int start = 0; start < n; start += 8) {
+        tags += scan_chunk(doc, start, n);
+    }
+    return tags;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(31);
+    for (int i = 0; i < 2048; i++) {
+        long r = guest_rand() & 15;
+        if (r == 0) {
+            g_doc[i] = '<';
+        } else {
+            g_doc[i] = (char)('a' + (r & 7));
+        }
+    }
+    for (int pass = 0; pass < 3; pass++) {
+        g_out_len = 0;
+        checksum += transform(g_doc, 2048);
+        checksum += g_out_len;
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=420,
+)
+
+
+LBM = _w(
+    "lbm", "fp",
+    "lattice relaxation stencil over doubles: one loop, no calls",
+    """
+double g_cells[2048];
+
+int main() {
+    long checksum = 0;
+    guest_srand(37);
+    for (int i = 0; i < 2048; i++) {
+        g_cells[i] = (double)(guest_rand() & 1023) / (double)64;
+    }
+    for (int sweep = 0; sweep < 10; sweep++) {
+        for (int i = 1; i < 2047; i++) {
+            double flux = (g_cells[i - 1] + g_cells[i + 1]) / (double)2;
+            g_cells[i] = g_cells[i] + (flux - g_cells[i]) / (double)4;
+        }
+    }
+    for (int i = 0; i < 2048; i++) {
+        checksum += (long)(g_cells[i] * (double)1000);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=980,
+)
+
+
+SPHINX3 = _w(
+    "sphinx3", "fp",
+    "acoustic scoring: per-frame Gaussian dot products (double)",
+    """
+double g_means[512];
+double g_frame[32];
+
+double score_senone(double *frame, int senone) {
+    double score = (double)0;
+    for (int d = 0; d < 32; d++) {
+        double diff = frame[d] - g_means[((senone * 32) + d) & 511];
+        score += diff * diff;
+    }
+    return score;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(41);
+    for (int i = 0; i < 512; i++) {
+        g_means[i] = (double)(guest_rand() & 255) / (double)16;
+    }
+    for (int frame = 0; frame < 60; frame++) {
+        double best = (double)1000000;
+        for (int d = 0; d < 32; d++) {
+            g_frame[d] = (double)(guest_rand() & 255) / (double)16;
+        }
+        for (int senone = 0; senone < 12; senone++) {
+            double s = score_senone(g_frame, senone);
+            if (s < best) {
+                best = s;
+            }
+        }
+        checksum += (long)(best * (double)100);
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=720,
+)
+
+
+PROFTPD_APP = _w(
+    "proftpd", "io",
+    "FTP-style command loop: handling cost dwarfed by io_wait",
+    """
+char g_reply[256];
+
+int handle_command(long kind, long argument) {
+    char path[64];
+    char reply[128];
+    long code = 200;
+    path[0] = (char)('a' + (kind & 7));
+    if (kind == 1) {
+        code = 150 + (argument & 3);
+    } else if (kind == 2) {
+        code = 226;
+    } else if (kind == 3) {
+        code = 550;
+    }
+    reply[0] = (char)(code & 0x7f);
+    g_reply[(kind * 13 + argument) & 255] = reply[0] + path[0];
+    return (int)code;
+}
+
+int main() {
+    long checksum = 0;
+    guest_srand(43);
+    for (int session = 0; session < 20; session++) {
+        io_wait(10000);                /* accept / network latency */
+        for (int cmd = 0; cmd < 12; cmd++) {
+            io_wait(3600);             /* recv of one command */
+            checksum += handle_command(guest_rand() & 3,
+                                       guest_rand() & 31);
+        }
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=210,
+)
+
+
+WIRESHARK_APP = _w(
+    "wireshark", "io",
+    "capture dissect loop: per-packet parse between io_wait reads",
+    """
+long g_proto_count[16];
+
+int dissect(char *packet, int length) {
+    char header[32];
+    long proto = 0;
+    int consumed = 0;
+    memcpy_(header, packet, 32);
+    proto = header[0] & 15;
+    g_proto_count[proto] += 1;
+    for (int i = 1; i < 32 && i < length; i++) {
+        consumed += header[i] & 7;
+    }
+    return consumed;
+}
+
+int main() {
+    char packet[64];
+    long checksum = 0;
+    guest_srand(47);
+    for (int frame = 0; frame < 150; frame++) {
+        io_wait(2500);                 /* read one captured frame */
+        for (int i = 0; i < 64; i++) {
+            packet[i] = (char)(guest_rand() & 127);
+        }
+        checksum += dissect(packet, 64);
+    }
+    for (int i = 0; i < 16; i++) {
+        checksum += g_proto_count[i] * i;
+    }
+    print_int(checksum);
+    return 0;
+}
+""",
+    arena_kb=480,
+)
+
+
+#: Paper Figure 3/4 order: SPEC int, SPEC fp, then the I/O applications.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        PERLBENCH, BZIP2, GCC, MCF, GOBMK, HMMER, SJENG, LIBQUANTUM,
+        H264REF, OMNETPP, ASTAR, XALANCBMK, LBM, SPHINX3,
+        PROFTPD_APP, WIRESHARK_APP,
+    ]
+}
+
+SPEC_WORKLOADS = [name for name, w in WORKLOADS.items() if w.category != "io"]
+IO_WORKLOADS = [name for name, w in WORKLOADS.items() if w.category == "io"]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload '{name}'; known: {sorted(WORKLOADS)}"
+        ) from None

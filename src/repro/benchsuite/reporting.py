@@ -1,0 +1,108 @@
+"""Text renderers for the paper's tables and figures.
+
+The originals are bar charts; a terminal reproduction renders each series
+as rows of numbers plus an ASCII bar, which preserves what the figures
+communicate — who is expensive, by how much, and where the outliers are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.benchsuite.runner import SuiteResults
+from repro.rng.sources import table1_rows
+
+
+def _bar(value: float, scale: float = 1.0, width: int = 32) -> str:
+    """Signed ASCII bar; one character per ``scale`` percent."""
+    length = min(width, max(0, int(round(abs(value) / scale))))
+    body = ("#" if value >= 0 else "-") * length
+    return body
+
+
+def render_table1(measured: Optional[Dict[str, float]] = None) -> str:
+    """Table I: source of randomness vs rate (cycles/invocation).
+
+    ``measured`` optionally carries empirically measured rates (from the
+    benchmark harness) to print beside the model's nominal rates.
+    """
+    rows = table1_rows()
+    lines = [
+        "TABLE I: SOURCE OF RANDOMNESS",
+        f"{'source':<10}{'Security':<10}{'Rate (cycles/invocation)':>26}"
+        + ("" + f"{'measured':>12}" if measured else ""),
+    ]
+    for name, row in rows.items():
+        line = f"{name:<10}{row['security']:<10}{row['cycles']:>26.1f}"
+        if measured:
+            line += f"{measured.get(name, float('nan')):>12.1f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_figure3(results: SuiteResults, bar_scale: float = 2.0) -> str:
+    """Figure 3: % runtime overhead per workload per randomness scheme."""
+    lines = [
+        "FIGURE 3: percentage performance overhead of Smokestack",
+        "(positive = slowdown vs the Clang-default baseline)",
+        "",
+    ]
+    header = f"{'workload':<12}" + "".join(
+        f"{scheme:>10}" for scheme in results.schemes
+    )
+    lines.append(header)
+    for workload in results.workloads():
+        cells = "".join(
+            f"{results.overhead(workload, scheme):>10.1f}"
+            for scheme in results.schemes
+        )
+        lines.append(f"{workload:<12}{cells}")
+    lines.append("")
+    for scheme in results.schemes:
+        average = results.average_overhead(scheme, category="spec")
+        lines.append(
+            f"SPEC average {scheme:>8}: {average:6.1f}%  |{_bar(average, bar_scale)}"
+        )
+    io_names = [
+        w for w in results.workloads()
+        if results.measurements[w].workload.category == "io"
+    ]
+    if io_names:
+        worst = max(
+            results.overhead(w, s) for w in io_names for s in results.schemes
+        )
+        lines.append(f"I/O applications worst case: {worst:.1f}%")
+    return "\n".join(lines)
+
+
+def render_figure4(results: SuiteResults, scheme: str = "aes-10",
+                   bar_scale: float = 2.0) -> str:
+    """Figure 4: % memory overhead (max RSS) per workload."""
+    lines = [
+        "FIGURE 4: percentage memory overhead of Smokestack (max RSS)",
+        "(dominated by the read-only P-BOX added to the image)",
+        "",
+        f"{'workload':<12}{'mem %':>8}   {'P-BOX bytes':>12}",
+    ]
+    for workload in results.workloads():
+        measurement = results.measurements[workload]
+        if measurement.workload.category == "io":
+            continue  # the paper's Figure 4 covers SPEC only
+        value = results.memory_overhead(workload, scheme)
+        lines.append(
+            f"{workload:<12}{value:>8.1f}   {measurement.pbox_bytes:>12,}"
+            f"  |{_bar(value, bar_scale)}"
+        )
+    return "\n".join(lines)
+
+
+def render_overhead_summary(results: SuiteResults) -> str:
+    """Compact paper-vs-measured summary used by EXPERIMENTS.md."""
+    lines = ["scheme      measured-avg   paper-avg"]
+    paper = {"pseudo": 0.9, "aes-1": 3.3, "aes-10": 10.3, "rdrand": 22.0}
+    for scheme in results.schemes:
+        measured = results.average_overhead(scheme, category="spec")
+        expected = paper.get(scheme)
+        expected_text = f"{expected:>9.1f}%" if expected is not None else "      n/a"
+        lines.append(f"{scheme:<12}{measured:>10.1f}%  {expected_text}")
+    return "\n".join(lines)

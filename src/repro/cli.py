@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``      compile a Mini-C file and execute it on the VM
+``harden``   harden with Smokestack and execute (optionally many runs)
+``ir``       dump the (optionally optimized / hardened) IR
+``gadgets``  DOP gadget census of a program
+``entropy``  per-function layout entropy of a hardened build
+``attack``   replay a named attack campaign against a chosen defense
+``bench``    run a slice of the Figure 3 measurement campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import analyze_module, render_entropy_report
+from repro.core import SmokestackConfig, compile_source, harden_source
+from repro.defenses import defense_names, make_defense
+from repro.ir import print_module
+from repro.rng import DeterministicEntropy
+from repro.rng.sources import SCHEME_NAMES
+from repro.vm import Machine
+
+_ATTACKS = {
+    "librelp": "repro.attacks.librelp:run_librelp_campaign",
+    "wireshark": "repro.attacks.wireshark:run_wireshark_campaign",
+    "proftpd": "repro.attacks.proftpd:run_proftpd_campaign",
+    "listing1": "repro.attacks.dop:run_listing1_campaign",
+}
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _print_result(result) -> int:
+    print(f"outcome : {result.outcome}")
+    if result.exit_code is not None:
+        print(f"exit    : {result.exit_code}")
+    if result.error_message:
+        print(f"detail  : {result.error_message}")
+    if result.int_outputs:
+        print(f"ints    : {result.int_outputs}")
+    if result.str_outputs:
+        print(f"strings : {result.str_outputs}")
+    if result.output_data:
+        print(f"bytes   : {bytes(result.output_data)[:120]!r}")
+    print(f"steps   : {result.steps:,}")
+    print(f"cycles  : {result.cycles:,.0f}")
+    print(f"max rss : {result.max_rss:,} bytes")
+    return 0 if result.finished_cleanly() else 1
+
+
+def _inputs_from_args(raw: Optional[List[str]]) -> List[bytes]:
+    return [item.encode("utf-8") for item in (raw or [])]
+
+
+def cmd_run(args) -> int:
+    module = compile_source(_read_source(args.file), opt_level=args.opt)
+    machine = Machine(module, inputs=_inputs_from_args(args.input))
+    return _print_result(machine.run())
+
+
+def cmd_harden(args) -> int:
+    config = SmokestackConfig(scheme=args.scheme)
+    hardened = harden_source(
+        _read_source(args.file), config, opt_level=args.opt
+    )
+    print(f"P-BOX   : {hardened.pbox.stats()}")
+    status = 0
+    for run_index in range(args.runs):
+        machine = hardened.make_machine(
+            entropy=DeterministicEntropy(args.seed + run_index),
+            inputs=_inputs_from_args(args.input),
+        )
+        result = machine.run()
+        if args.runs > 1:
+            print(f"--- run {run_index + 1} ---")
+        status |= _print_result(result)
+    return status
+
+
+def cmd_ir(args) -> int:
+    if args.harden:
+        hardened = harden_source(
+            _read_source(args.file),
+            SmokestackConfig(scheme=args.scheme),
+            opt_level=args.opt,
+        )
+        module = hardened.module
+    else:
+        module = compile_source(_read_source(args.file), opt_level=args.opt)
+    sys.stdout.write(print_module(module))
+    return 0
+
+
+def cmd_gadgets(args) -> int:
+    module = compile_source(_read_source(args.file), opt_level=args.opt)
+    report = analyze_module(module)
+    print(f"gadget census: {report.kinds() or 'none'}")
+    for gadget in report.gadgets:
+        print(f"  [{gadget.kind:<6}] {gadget.function}:{gadget.block}")
+    usable = report.usable_dispatchers()
+    print(f"dispatchers ({len(report.dispatchers)} loops, "
+          f"{len(usable)} attacker-usable):")
+    for dispatcher in report.dispatchers:
+        flag = "USABLE" if dispatcher in usable else "benign"
+        print(
+            f"  [{flag}] {dispatcher.function}:{dispatcher.header} "
+            f"(controlled bound: {dispatcher.condition_controlled}, "
+            f"corruption sites: {dispatcher.corruption_sites}, "
+            f"gadgets in body: {dispatcher.gadgets_in_body})"
+        )
+    return 0
+
+
+def cmd_entropy(args) -> int:
+    hardened = harden_source(
+        _read_source(args.file),
+        SmokestackConfig(scheme=args.scheme),
+        opt_level=args.opt,
+    )
+    print(render_entropy_report(hardened))
+    return 0
+
+
+def cmd_attack(args) -> int:
+    module_name, _, function_name = _ATTACKS[args.name].partition(":")
+    import importlib
+
+    runner = getattr(importlib.import_module(module_name), function_name)
+    report = runner(
+        make_defense(args.defense), restarts=args.restarts, seed=args.seed
+    )
+    print(f"attack   : {args.name}")
+    print(f"defense  : {args.defense}")
+    print(f"verdict  : {report.verdict()}")
+    print(f"attempts : {report.total} ({report.breakdown()})")
+    if report.first_success is not None:
+        print(f"success on attempt {report.first_success + 1}")
+    return 0 if report.verdict() == "stopped" else 2
+
+
+def cmd_bench(args) -> int:
+    from repro.benchsuite import measure_suite, render_figure3, render_figure4
+
+    results = measure_suite(
+        workload_names=args.workloads or None,
+        schemes=tuple(args.schemes),
+        scheduling_effects=True,
+    )
+    print(render_figure3(results))
+    print()
+    print(render_figure4(results, scheme=args.schemes[0]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smokestack reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, harden_opts=False):
+        p.add_argument("file", help="Mini-C source file")
+        p.add_argument("--opt", type=int, default=0, choices=(0, 1, 2),
+                       help="optimization level (default 0)")
+        if harden_opts:
+            p.add_argument("--scheme", default="aes-10",
+                           help="randomness scheme (default aes-10)")
+
+    p = sub.add_parser("run", help="compile and execute")
+    add_common(p)
+    p.add_argument("--input", action="append",
+                   help="input chunk (repeatable)")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("harden", help="harden with Smokestack and execute")
+    add_common(p, harden_opts=True)
+    p.add_argument("--input", action="append")
+    p.add_argument("--runs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_harden)
+
+    p = sub.add_parser("ir", help="dump IR")
+    add_common(p, harden_opts=True)
+    p.add_argument("--harden", action="store_true",
+                   help="dump the instrumented module")
+    p.set_defaults(func=cmd_ir)
+
+    p = sub.add_parser("gadgets", help="DOP gadget census")
+    add_common(p)
+    p.set_defaults(func=cmd_gadgets)
+
+    p = sub.add_parser("entropy", help="layout entropy report")
+    add_common(p, harden_opts=True)
+    p.set_defaults(func=cmd_entropy)
+
+    p = sub.add_parser("attack", help="run an attack campaign")
+    p.add_argument("name", choices=sorted(_ATTACKS))
+    p.add_argument("--defense", default="smokestack",
+                   choices=defense_names())
+    p.add_argument("--restarts", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("bench", help="Figure 3/4 measurement slice")
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.add_argument("--schemes", nargs="*", default=list(SCHEME_NAMES))
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Smokestack: runtime stack-layout randomization (the paper's contribution).
+
+Typical use::
+
+    from repro.core import SmokestackConfig, harden_source
+
+    hardened = harden_source(MINI_C_SOURCE, SmokestackConfig(scheme="aes-10"))
+    machine = hardened.make_machine(inputs=[b"..."])
+    result = machine.run()
+"""
+
+from repro.core.allocations import (
+    FrameDescriptor,
+    StackAllocation,
+    discover_function,
+    discover_module,
+)
+from repro.core.config import SmokestackConfig
+from repro.core.fnid import function_identifier
+from repro.core.instrument import (
+    FNID_SLOT_NAME,
+    InstrumentationRecord,
+    instrument_module,
+    is_instrumented,
+)
+from repro.core.pbox import PBox, PBoxEntry, PBoxTable, canonicalize
+from repro.core.permutation import (
+    PermutationTable,
+    align_index,
+    generate_table,
+    layout_for_order,
+    nth_lexical_permutation,
+    round_rows_to_power_of_two,
+)
+from repro.core.pipeline import (
+    HardenedProgram,
+    compile_source,
+    harden_module,
+    harden_source,
+)
+
+__all__ = [
+    "FNID_SLOT_NAME",
+    "FrameDescriptor",
+    "HardenedProgram",
+    "InstrumentationRecord",
+    "PBox",
+    "PBoxEntry",
+    "PBoxTable",
+    "PermutationTable",
+    "SmokestackConfig",
+    "StackAllocation",
+    "align_index",
+    "canonicalize",
+    "compile_source",
+    "discover_function",
+    "discover_module",
+    "function_identifier",
+    "generate_table",
+    "harden_module",
+    "harden_source",
+    "instrument_module",
+    "is_instrumented",
+    "layout_for_order",
+    "nth_lexical_permutation",
+    "round_rows_to_power_of_two",
+]

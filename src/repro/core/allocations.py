@@ -1,0 +1,112 @@
+"""Discovery of stack allocations (paper §III-D, first analysis pass).
+
+For every function this pass gathers the static stack objects — their
+source names, types, sizes and alignment requirements — producing the
+:class:`FrameDescriptor` the permutation engine and the P-BOX builder
+consume.  Variable-length allocations are listed separately: their
+randomization is deferred to runtime (a random dummy allocation precedes
+each, §III-D.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.instructions import Alloca
+from repro.ir.module import Function, Module
+from repro.minic import types as ct
+
+
+class StackAllocation:
+    """One permutable stack object: size + alignment (+ provenance)."""
+
+    __slots__ = ("name", "size", "align", "alloca", "index")
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        align: int,
+        alloca: Optional[Alloca] = None,
+        index: int = 0,
+    ):
+        if size <= 0:
+            raise ValueError(f"allocation '{name}' has non-positive size {size}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError(
+                f"allocation '{name}' has bad alignment {align} (must be a "
+                "positive power of two)"
+            )
+        self.name = name
+        self.size = size
+        self.align = align
+        self.alloca = alloca
+        self.index = index
+
+    def shape(self) -> Tuple[int, int]:
+        """(size, align) — the identity used for P-BOX table sharing."""
+        return (self.size, self.align)
+
+    def __repr__(self) -> str:
+        return f"StackAllocation({self.name!r}, size={self.size}, align={self.align})"
+
+
+class FrameDescriptor:
+    """Everything Smokestack needs to know about one function's frame."""
+
+    def __init__(
+        self,
+        function_name: str,
+        allocations: List[StackAllocation],
+        vla_allocas: List[Alloca],
+    ):
+        self.function_name = function_name
+        self.allocations = allocations
+        self.vla_allocas = vla_allocas
+
+    @property
+    def count(self) -> int:
+        return len(self.allocations)
+
+    def total_unpermuted_size(self) -> int:
+        """Frame bytes if laid out in declaration order (no randomization)."""
+        offset = 0
+        for allocation in self.allocations:
+            offset = ct.align_up(offset, allocation.align)
+            offset += allocation.size
+        return offset
+
+    def shapes(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(a.shape() for a in self.allocations)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameDescriptor({self.function_name!r}, "
+            f"{self.count} allocations, {len(self.vla_allocas)} VLAs)"
+        )
+
+
+def discover_function(function: Function) -> FrameDescriptor:
+    """Collect the frame descriptor for one function."""
+    allocations: List[StackAllocation] = []
+    vla_allocas: List[Alloca] = []
+    for alloca in function.allocas():
+        if alloca.is_static():
+            index = len(allocations)
+            allocations.append(
+                StackAllocation(
+                    alloca.var_name or f"tmp{index}",
+                    alloca.static_size(),
+                    alloca.align,
+                    alloca=alloca,
+                    index=index,
+                )
+            )
+        else:
+            vla_allocas.append(alloca)
+    return FrameDescriptor(function.name, allocations, vla_allocas)
+
+
+def discover_module(module: Module) -> List[FrameDescriptor]:
+    """Frame descriptors for every function in the module, in order."""
+    return [discover_function(fn) for fn in module.functions.values()]

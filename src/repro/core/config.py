@@ -1,0 +1,58 @@
+"""Configuration for the Smokestack hardening pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.permutation import DEFAULT_MAX_ROWS
+
+
+@dataclass
+class SmokestackConfig:
+    """Tunable knobs of the hardening passes.
+
+    Attributes
+    ----------
+    scheme:
+        Randomness scheme name for the runtime ('pseudo', 'aes-1',
+        'aes-10', 'rdrand') — the four experiments of Figure 3.
+    pow2_tables:
+        §III-E "P-BOX size of power of 2": round each table's row count up
+        to a power of two (wrap-around duplication) so the prologue can
+        mask instead of divide.
+    share_tables:
+        §III-E "Rearranging Stack Allocations": functions whose allocation
+        multisets match share one table via a canonical ordering.
+    round_up_sharing:
+        §III-E "Rounding up Allocations": a function may use the table of
+        a combination with one extra (smallest) allocation, paying frame
+        padding to save P-BOX memory.
+    max_table_rows:
+        Factorial cap: when n! exceeds this, the table holds this many
+        distinct sampled permutations instead of all n! (see
+        `repro.core.permutation`).
+    compile_seed:
+        Seed for compile-time randomness (row shuffling, sampling).  It
+        only affects which layouts end up in the read-only P-BOX, never
+        which row a given call selects — that is the runtime RNG's job.
+    fnid_checks:
+        Insert the XOR'd function-identifier prologue/epilogue checks
+        (§III-D.2); these replace the baseline's stack protector.
+    vla_padding:
+        Insert a random-sized dummy allocation before each VLA (§III-D.1).
+    """
+
+    scheme: str = "aes-10"
+    pow2_tables: bool = True
+    share_tables: bool = True
+    round_up_sharing: bool = True
+    max_table_rows: int = DEFAULT_MAX_ROWS
+    compile_seed: int = 0x5151
+    fnid_checks: bool = True
+    vla_padding: bool = True
+
+    def validate(self) -> None:
+        if self.max_table_rows < 1:
+            raise ValueError("max_table_rows must be >= 1")
+        if not self.scheme:
+            raise ValueError("scheme must be set")

@@ -1,0 +1,26 @@
+"""Function identifiers for Smokestack's tamper checks (paper §III-D.2).
+
+Each instrumented function gets a unique identifier.  The prologue stores
+``identifier XOR key`` into a slot of the randomized frame; the epilogue
+XORs the slot with the same key and compares against the identifier,
+aborting on mismatch.  The key is the invocation's random number — an SSA
+value, i.e. register-resident, outside the attacker's reach per the
+threat model — so an attacker who overwrites the slot (e.g. with a spray
+while hunting for a relocated buffer) cannot recompute a passing value.
+
+The paper derives identifiers at load time; the reproduction uses a
+stable 63-bit hash of the function name, which is equivalent for the
+simulation (unique per function, unpredictable padding of the frame).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK_63 = (1 << 63) - 1
+
+
+def function_identifier(function_name: str) -> int:
+    """Stable 63-bit identifier for ``function_name``."""
+    digest = hashlib.sha256(b"smokestack-fnid:" + function_name.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little") & _MASK_63

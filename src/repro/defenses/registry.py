@@ -1,0 +1,40 @@
+"""Name-keyed registry of all defenses under evaluation."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.defenses.aslr import StackBaseASLR
+from repro.defenses.base import Defense, NoDefense, StackCanary
+from repro.defenses.padding import ForrestPadding
+from repro.defenses.smokestack_defense import SmokestackDefense
+from repro.defenses.static_permute import StaticPermutation
+
+_FACTORIES: Dict[str, Callable[[], Defense]] = {
+    "none": NoDefense,
+    "canary": StackCanary,
+    "aslr": StackBaseASLR,
+    "padding": ForrestPadding,
+    "static-permute": StaticPermutation,
+    "smokestack": SmokestackDefense,
+}
+
+
+def make_defense(name: str) -> Defense:
+    """Instantiate a defense by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defense '{name}'; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def defense_names() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def prior_defense_names() -> List[str]:
+    """The pre-Smokestack schemes §II-C evaluates."""
+    return ["none", "canary", "aslr", "padding", "static-permute"]

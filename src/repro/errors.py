@@ -1,0 +1,140 @@
+"""Exception hierarchy shared across the Smokestack reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the toolchain can catch one base class.  The hierarchy
+mirrors the pipeline stages: front-end (lexing/parsing/semantic analysis),
+IR construction and verification, lowering, virtual-machine execution, and
+the Smokestack hardening passes themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SourceLocation:
+    """A position inside a Mini-C source text.
+
+    Lines and columns are 1-based, matching how editors and compiler
+    diagnostics conventionally report positions.
+    """
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str = "<input>", line: int = 1, column: int = 1):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.filename!r}, {self.line}, {self.column})"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.filename, self.line, self.column) == (
+            other.filename,
+            other.line,
+            other.column,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+
+class FrontendError(ReproError):
+    """Base class for Mini-C front-end failures, carrying a source location."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser meets a token sequence that is not Mini-C."""
+
+
+class SemanticError(FrontendError):
+    """Raised by semantic analysis: type errors, undeclared names, etc."""
+
+
+class IRError(ReproError):
+    """Raised when IR is constructed or mutated inconsistently."""
+
+
+class VerifierError(IRError):
+    """Raised by the IR verifier when a module violates a structural rule."""
+
+
+class LoweringError(ReproError):
+    """Raised when a well-typed AST cannot be lowered to IR."""
+
+
+class VMError(ReproError):
+    """Base class for virtual machine failures."""
+
+
+class VMFault(VMError):
+    """A memory fault: the simulated process performed an illegal access.
+
+    Faults model what would be a SIGSEGV (or a hardware-detected violation)
+    on a real machine.  ``kind`` is a short machine-readable tag such as
+    ``"unmapped"``, ``"write-to-readonly"`` or ``"null-deref"``.
+    """
+
+    def __init__(self, kind: str, address: int, message: str = ""):
+        self.kind = kind
+        self.address = address
+        detail = message or kind
+        super().__init__(f"memory fault ({detail}) at address {address:#x}")
+
+
+class SecurityViolation(VMError):
+    """Raised when an inserted Smokestack check detects tampering.
+
+    This models the hardened binary aborting, e.g. because the XOR'd
+    function identifier written in the prologue no longer matches at the
+    epilogue, or because a stack canary was clobbered.
+    """
+
+    def __init__(self, check: str, function: str, message: str = ""):
+        self.check = check
+        self.function = function
+        detail = f" ({message})" if message else ""
+        super().__init__(
+            f"security check '{check}' failed in function '{function}'{detail}"
+        )
+
+
+class VMTrap(VMError):
+    """Raised when the guest program executes an explicit trap/abort."""
+
+
+class VMLimitExceeded(VMError):
+    """Raised when execution exceeds a configured resource limit.
+
+    Limits exist so that attack experiments with corrupted loop counters
+    terminate instead of spinning forever; hitting a limit is reported as a
+    distinct outcome (neither success nor clean crash).
+    """
+
+
+class AttackError(ReproError):
+    """Raised when an attack harness is misconfigured (not attack failure)."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark workload or harness is misconfigured."""

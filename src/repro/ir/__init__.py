@@ -1,0 +1,76 @@
+"""Typed IR: the LLVM-analogue the Smokestack passes transform.
+
+Public surface:
+
+* value classes (:class:`Constant`, :class:`Argument`,
+  :class:`GlobalVariable`),
+* the instruction set (``Alloca``, ``Load``, ``Store``, ``ElemPtr``, ...),
+* containers (:class:`Module`, :class:`Function`, :class:`BasicBlock`),
+* :class:`IRBuilder` for emission,
+* :func:`verify_module` / :func:`verify_function`,
+* :func:`print_module` / :func:`print_function` for textual dumps.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_KINDS,
+    COMPARE_OPS,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    ElemPtr,
+    FieldPtr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.printer import format_instruction, print_function, print_module
+from repro.ir.values import Argument, Constant, GlobalVariable, Value, const_int, null_ptr
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "BINARY_OPS",
+    "CAST_KINDS",
+    "COMPARE_OPS",
+    "Alloca",
+    "Argument",
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "Cmp",
+    "CondBr",
+    "Constant",
+    "ElemPtr",
+    "FieldPtr",
+    "Function",
+    "GlobalVariable",
+    "IRBuilder",
+    "Instruction",
+    "Load",
+    "Module",
+    "Phi",
+    "Ret",
+    "Select",
+    "Store",
+    "Unreachable",
+    "Value",
+    "const_int",
+    "format_instruction",
+    "null_ptr",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

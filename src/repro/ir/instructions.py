@@ -1,0 +1,413 @@
+"""IR instruction set.
+
+The instruction set is a compact LLVM-flavoured core: stack allocation
+(``alloca``), memory access (``load``/``store``), address computation
+(``elemptr``/``fieldptr``, the reproduction's GetElementPtr), arithmetic,
+comparisons, casts, control flow, calls and ``select``.
+
+Smokestack's instrumentation pass (paper §IV-B) rewrites exactly this
+vocabulary: it replaces per-variable ``alloca`` instructions with a single
+total-frame ``alloca`` plus ``elemptr`` slices whose indices are loaded
+from the P-BOX at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.minic import types as ct
+from repro.ir.values import Constant, Value
+
+# Integer/float binary opcodes the VM implements.
+BINARY_OPS = frozenset(
+    {
+        "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+        "and", "or", "xor", "shl", "lshr", "ashr",
+        "fadd", "fsub", "fmul", "fdiv",
+    }
+)
+
+# Comparison predicates.
+COMPARE_OPS = frozenset(
+    {
+        "eq", "ne",
+        "slt", "sle", "sgt", "sge",
+        "ult", "ule", "ugt", "uge",
+        "feq", "fne", "flt", "fle", "fgt", "fge",
+    }
+)
+
+# Cast kinds.
+CAST_KINDS = frozenset(
+    {
+        "trunc", "zext", "sext",
+        "fptosi", "sitofp", "uitofp", "fptoui",
+        "fpext", "fptrunc",
+        "bitcast", "ptrtoint", "inttoptr",
+    }
+)
+
+
+class Instruction(Value):
+    """Base class for instructions.  The result (if any) is the Value."""
+
+    __slots__ = ("operands", "block", "synthetic")
+
+    #: Overridden by terminators.
+    is_terminator = False
+
+    def __init__(self, ctype: ct.CType, operands: Sequence[Value], name: str = ""):
+        super().__init__(ctype, name)
+        self.operands: List[Value] = list(operands)
+        self.block = None  # set when appended to a BasicBlock
+        #: True for instructions emitted by instrumentation passes; the
+        #: cost model charges them at a discount (see repro.vm.costs).
+        self.synthetic = False
+
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+    def has_result(self) -> bool:
+        return not self.ctype.is_void()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name or '<unnamed>'})"
+
+
+class Alloca(Instruction):
+    """Reserve stack storage in the current frame.
+
+    ``allocated_type`` is the object type; ``count`` (a Value) multiplies
+    it for variable-length allocations — ``count is None`` means a static
+    single object.  ``var_name`` records the Mini-C variable the slot
+    backs, which the attack tooling and Smokestack's reports use to talk
+    about "the buffer" or "the loop counter" by name.
+    """
+
+    __slots__ = ("allocated_type", "count", "align", "var_name")
+
+    def __init__(
+        self,
+        allocated_type: ct.CType,
+        count: Optional[Value] = None,
+        align: Optional[int] = None,
+        var_name: str = "",
+        name: str = "",
+    ):
+        if count is None and not allocated_type.is_complete():
+            raise IRError("static alloca requires a complete type")
+        operands = [count] if count is not None else []
+        super().__init__(ct.PointerType(allocated_type), operands, name)
+        self.allocated_type = allocated_type
+        self.count = count
+        if align is None:
+            base = allocated_type if allocated_type.is_complete() else ct.CHAR
+            align = max(1, base.alignment())
+        self.align = align
+        self.var_name = var_name
+
+    def is_static(self) -> bool:
+        return self.count is None
+
+    def static_size(self) -> int:
+        if not self.is_static():
+            raise IRError("dynamic alloca has no static size")
+        return self.allocated_type.size()
+
+
+class Load(Instruction):
+    """Read a value of the pointee type from a pointer."""
+
+    __slots__ = ()
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not pointer.ctype.is_pointer():
+            raise IRError(f"load requires a pointer operand, got {pointer.ctype}")
+        pointee = pointer.ctype.pointee
+        if not pointee.is_scalar():
+            raise IRError(f"load of non-scalar type {pointee}")
+        super().__init__(pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Write a scalar value through a pointer."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.ctype.is_pointer():
+            raise IRError(f"store requires a pointer target, got {pointer.ctype}")
+        super().__init__(ct.VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class ElemPtr(Instruction):
+    """Address of ``base + index * sizeof(element)``.
+
+    ``base`` may point at the element type itself (pointer arithmetic) or
+    at an array of it (indexing); the result always points at the element
+    type.  This is the reproduction's GetElementPtr for sequential data —
+    and the instruction Smokestack emits to slice the unified stack frame.
+    """
+
+    __slots__ = ("element_type",)
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        if not base.ctype.is_pointer():
+            raise IRError(f"elemptr requires a pointer base, got {base.ctype}")
+        pointee = base.ctype.pointee
+        element = pointee.element if pointee.is_array() else pointee
+        if not element.is_complete():
+            raise IRError(f"elemptr on incomplete element type {element}")
+        if not index.ctype.is_integer():
+            raise IRError("elemptr index must be an integer")
+        super().__init__(ct.PointerType(element), [base, index], name)
+        self.element_type = element
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class FieldPtr(Instruction):
+    """Address of field ``field_index`` of a struct pointed to by ``base``."""
+
+    __slots__ = ("field_index", "byte_offset")
+
+    def __init__(self, base: Value, field_index: int, name: str = ""):
+        if not (base.ctype.is_pointer() and base.ctype.pointee.is_struct()):
+            raise IRError(f"fieldptr requires a struct pointer, got {base.ctype}")
+        struct_type = base.ctype.pointee
+        field_type = struct_type.field_type(field_index)
+        super().__init__(ct.PointerType(field_type), [base], name)
+        self.field_index = field_index
+        self.byte_offset = struct_type.field_offset(field_index)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+
+class BinOp(Instruction):
+    """Two-operand arithmetic/bitwise operation; operand types must match."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary opcode '{op}'")
+        if lhs.ctype != rhs.ctype:
+            raise IRError(
+                f"binop operand types differ: {lhs.ctype} vs {rhs.ctype}"
+            )
+        if op.startswith("f"):
+            if not lhs.ctype.is_float():
+                raise IRError(f"float opcode '{op}' on {lhs.ctype}")
+        else:
+            if not lhs.ctype.is_integer():
+                raise IRError(f"integer opcode '{op}' on {lhs.ctype}")
+        super().__init__(lhs.ctype, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cmp(Instruction):
+    """Comparison producing 0 or 1 as an ``int``."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in COMPARE_OPS:
+            raise IRError(f"unknown comparison '{op}'")
+        if lhs.ctype != rhs.ctype and not (
+            lhs.ctype.is_pointer() and rhs.ctype.is_pointer()
+        ):
+            raise IRError(
+                f"cmp operand types differ: {lhs.ctype} vs {rhs.ctype}"
+            )
+        super().__init__(ct.INT, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    """Type conversion; ``kind`` is one of :data:`CAST_KINDS`."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str, value: Value, to_type: ct.CType, name: str = ""):
+        if kind not in CAST_KINDS:
+            raise IRError(f"unknown cast kind '{kind}'")
+        super().__init__(to_type, [value], name)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Select(Instruction):
+    """``cond ? a : b`` without control flow; cond is any integer."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, a: Value, b: Value, name: str = ""):
+        if a.ctype != b.ctype:
+            raise IRError(f"select arm types differ: {a.ctype} vs {b.ctype}")
+        super().__init__(a.ctype, [cond, a, b], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+
+class Call(Instruction):
+    """Call a module function or a runtime builtin.
+
+    ``callee`` is either a :class:`repro.ir.module.Function` or the name of
+    a builtin (str).  Builtins are implemented natively by the VM.
+    """
+
+    __slots__ = ("callee",)
+
+    def __init__(
+        self,
+        callee,
+        args: Sequence[Value],
+        return_type: ct.CType,
+        name: str = "",
+    ):
+        super().__init__(return_type, list(args), name)
+        self.callee = callee
+
+    def callee_name(self) -> str:
+        return self.callee if isinstance(self.callee, str) else self.callee.name
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+
+class Phi(Instruction):
+    """SSA phi node: selects a value by the predecessor block taken.
+
+    Produced only by the optimizer's mem2reg pass (the front-end lowers
+    through memory, clang-at--O0 style).  Phis must sit at the start of
+    their block; the interpreter evaluates all of a block's phis as one
+    parallel copy at branch time.
+    """
+
+    __slots__ = ("incomings",)
+
+    def __init__(self, ctype: ct.CType, name: str = ""):
+        super().__init__(ctype, [], name)
+        #: list of (value, predecessor-block) pairs
+        self.incomings: List[tuple] = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        if value.ctype != self.ctype:
+            raise IRError(
+                f"phi incoming type {value.ctype} does not match {self.ctype}"
+            )
+        self.incomings.append((value, block))
+        self.operands.append(value)
+
+    def incoming_for(self, block) -> Value:
+        for value, predecessor in self.incomings:
+            if predecessor is block:
+                return value
+        raise IRError(f"phi has no incoming for block '{block.label}'")
+
+    def replace_incoming_value(self, index: int, value: Value) -> None:
+        # operands[i] mirrors incomings[i] (both filled by add_incoming).
+        _, block = self.incomings[index]
+        self.incomings[index] = (value, block)
+        self.operands[index] = value
+
+
+class Br(Instruction):
+    """Unconditional branch."""
+
+    __slots__ = ("target",)
+
+    is_terminator = True
+
+    def __init__(self, target):
+        super().__init__(ct.VOID, [])
+        self.target = target
+
+
+class CondBr(Instruction):
+    """Conditional branch: nonzero condition goes to ``true_target``."""
+
+    __slots__ = ("true_target", "false_target")
+
+    is_terminator = True
+
+    def __init__(self, cond: Value, true_target, false_target):
+        if not (cond.ctype.is_integer() or cond.ctype.is_pointer()):
+            raise IRError(f"branch condition must be integer/pointer, got {cond.ctype}")
+        super().__init__(ct.VOID, [cond])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+
+class Ret(Instruction):
+    """Return from the current function."""
+
+    __slots__ = ()
+
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None):
+        operands = [value] if value is not None else []
+        super().__init__(ct.VOID, operands)
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Unreachable(Instruction):
+    """Executing this is a bug; the VM raises immediately."""
+
+    __slots__ = ()
+
+    is_terminator = True
+
+    def __init__(self):
+        super().__init__(ct.VOID, [])

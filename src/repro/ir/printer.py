@@ -1,0 +1,130 @@
+"""Textual printer for IR modules (LLVM-flavoured, human-oriented).
+
+The format is for inspection, documentation and golden tests; it is not
+meant to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    ElemPtr,
+    FieldPtr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import Value
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module as text."""
+    parts: List[str] = [f"; module {module.name}"]
+    for variable in module.globals.values():
+        qualifier = "constant" if variable.readonly else "global"
+        size = variable.value_type.size()
+        parts.append(
+            f"@{variable.name} = {qualifier} {variable.value_type} "
+            f"; {size} bytes, align {variable.align}"
+        )
+    for function in module.functions.values():
+        parts.append("")
+        parts.append(print_function(function))
+    return "\n".join(parts) + "\n"
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{p.ctype} %{p.name}" for p in function.params)
+    lines = [f"define {function.return_type} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _ref(value: Value) -> str:
+    return value.ref()
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line rendering of a single instruction."""
+    if isinstance(inst, Alloca):
+        size = "dynamic" if not inst.is_static() else f"{inst.static_size()} bytes"
+        count = f", count {_ref(inst.count)}" if inst.count is not None else ""
+        source = f" ; var '{inst.var_name}'" if inst.var_name else ""
+        return (
+            f"%{inst.name} = alloca {inst.allocated_type}{count}, "
+            f"align {inst.align} ; {size}{source}"
+        )
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {inst.ctype}, {_ref(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {inst.value.ctype} {_ref(inst.value)}, {_ref(inst.pointer)}"
+    if isinstance(inst, ElemPtr):
+        return (
+            f"%{inst.name} = elemptr {inst.element_type}, "
+            f"{_ref(inst.base)}, index {_ref(inst.index)}"
+        )
+    if isinstance(inst, FieldPtr):
+        return (
+            f"%{inst.name} = fieldptr {_ref(inst.base)}, "
+            f"field {inst.field_index} (+{inst.byte_offset})"
+        )
+    if isinstance(inst, BinOp):
+        return (
+            f"%{inst.name} = {inst.op} {inst.ctype} "
+            f"{_ref(inst.lhs)}, {_ref(inst.rhs)}"
+        )
+    if isinstance(inst, Cmp):
+        return (
+            f"%{inst.name} = cmp {inst.op} {inst.lhs.ctype} "
+            f"{_ref(inst.lhs)}, {_ref(inst.rhs)}"
+        )
+    if isinstance(inst, Cast):
+        return (
+            f"%{inst.name} = {inst.kind} {inst.value.ctype} "
+            f"{_ref(inst.value)} to {inst.ctype}"
+        )
+    if isinstance(inst, Phi):
+        incomings = ", ".join(
+            f"[{_ref(value)}, %{pred.label}]" for value, pred in inst.incomings
+        )
+        return f"%{inst.name} = phi {inst.ctype} {incomings}"
+    if isinstance(inst, Select):
+        cond, a, b = inst.operands
+        return (
+            f"%{inst.name} = select {_ref(cond)}, {_ref(a)}, {_ref(b)}"
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(_ref(a) for a in inst.args)
+        prefix = f"%{inst.name} = " if inst.has_result() else ""
+        return f"{prefix}call {inst.ctype} @{inst.callee_name()}({args})"
+    if isinstance(inst, Br):
+        return f"br label %{inst.target.label}"
+    if isinstance(inst, CondBr):
+        return (
+            f"br {_ref(inst.cond)}, label %{inst.true_target.label}, "
+            f"label %{inst.false_target.label}"
+        )
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {inst.value.ctype} {_ref(inst.value)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    return f"<{type(inst).__name__}>"

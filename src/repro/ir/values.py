@@ -1,0 +1,130 @@
+"""IR value classes.
+
+The IR reuses the Mini-C type objects (`repro.minic.types`) as its type
+system: they already carry the size/alignment data layout that both the
+virtual machine and Smokestack's permutation engine need, and sharing them
+keeps the whole pipeline on a single source of truth for layout.
+
+A :class:`Value` is anything an instruction can take as an operand:
+constants, function arguments, globals (whose value is their address), and
+instructions themselves (their result).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import IRError
+from repro.minic import types as ct
+
+
+class Value:
+    """Base class of everything usable as an instruction operand."""
+
+    __slots__ = ("ctype", "name")
+
+    def __init__(self, ctype: ct.CType, name: str = ""):
+        self.ctype = ctype
+        self.name = name
+
+    def ref(self) -> str:
+        """Short printable reference used by the textual printer."""
+        return f"%{self.name}" if self.name else "%?"
+
+
+class Constant(Value):
+    """A compile-time constant: integer, float, or null pointer.
+
+    Integer constants are stored as Python ints and truncated to the type's
+    width at VM boundaries; pointer-typed constants hold the raw address
+    value (0 for null).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, ctype: ct.CType, value: Union[int, float]):
+        super().__init__(ctype, "")
+        if ctype.is_integer() or ctype.is_pointer():
+            if not isinstance(value, int):
+                raise IRError(f"integer constant requires an int, got {value!r}")
+        elif ctype.is_float():
+            value = float(value)
+        else:
+            raise IRError(f"cannot build a constant of type {ctype}")
+        self.value = value
+
+    def ref(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.ctype}, {self.value})"
+
+
+def const_int(value: int, ctype: ct.CType = ct.LONG) -> Constant:
+    """Shorthand for an integer constant (defaults to ``long``)."""
+    return Constant(ctype, value)
+
+
+def null_ptr(pointee: ct.CType = ct.VOID) -> Constant:
+    """A null pointer constant."""
+    return Constant(ct.PointerType(pointee), 0)
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, name: str, ctype: ct.CType, index: int):
+        super().__init__(ctype, name)
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Argument({self.name!r}: {self.ctype})"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    As a :class:`Value` it denotes the *address* of the storage, so its
+    ``ctype`` is a pointer to ``value_type``.  ``initializer`` is the raw
+    byte image (zero-filled if None).  ``readonly`` globals are loaded into
+    the VM's read-only data segment — this is where Smokestack's P-BOX
+    lives, matching the paper's "read-only data section" placement (§IV-B).
+    """
+
+    __slots__ = ("value_type", "initializer", "readonly", "align")
+
+    def __init__(
+        self,
+        name: str,
+        value_type: ct.CType,
+        initializer: Optional[bytes] = None,
+        readonly: bool = False,
+        align: Optional[int] = None,
+    ):
+        super().__init__(ct.PointerType(value_type), name)
+        if not value_type.is_complete():
+            raise IRError(f"global '{name}' must have a complete type")
+        size = value_type.size()
+        if initializer is not None and len(initializer) > size:
+            raise IRError(
+                f"initializer of global '{name}' is {len(initializer)} bytes "
+                f"but the type is only {size}"
+            )
+        self.value_type = value_type
+        self.initializer = initializer
+        self.readonly = readonly
+        self.align = align if align is not None else max(1, value_type.alignment())
+
+    def byte_image(self) -> bytes:
+        """The full zero-padded initial byte image of this global."""
+        size = self.value_type.size()
+        data = self.initializer or b""
+        return data + b"\x00" * (size - len(data))
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"GlobalVariable({self.name!r}: {self.value_type})"

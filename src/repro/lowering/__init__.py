@@ -1,0 +1,5 @@
+"""Lowering: Mini-C AST -> IR (the clang-at--O0 analogue)."""
+
+from repro.lowering.lower import Lowerer, lower
+
+__all__ = ["Lowerer", "lower"]

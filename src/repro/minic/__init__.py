@@ -1,0 +1,36 @@
+"""Mini-C front-end: lexer, parser, type system and semantic analysis.
+
+Mini-C is the C subset the Smokestack reproduction compiles.  The usual
+entry point is :func:`compile_to_ast`, which runs the whole front-end and
+returns a fully type-annotated translation unit ready for lowering.
+"""
+
+from repro.minic import astnodes
+from repro.minic import types
+from repro.minic.builtins import BUILTINS, UNSAFE_BUILTINS, builtin_function_type, is_builtin
+from repro.minic.lexer import Lexer, tokenize
+from repro.minic.parser import Parser, parse
+from repro.minic.sema import Sema, analyze, is_lvalue
+
+
+def compile_to_ast(source: str, filename: str = "<input>") -> astnodes.TranslationUnit:
+    """Lex, parse and semantically analyze Mini-C ``source``."""
+    return analyze(parse(source, filename))
+
+
+__all__ = [
+    "BUILTINS",
+    "UNSAFE_BUILTINS",
+    "Lexer",
+    "Parser",
+    "Sema",
+    "analyze",
+    "astnodes",
+    "builtin_function_type",
+    "compile_to_ast",
+    "is_builtin",
+    "is_lvalue",
+    "parse",
+    "tokenize",
+    "types",
+]

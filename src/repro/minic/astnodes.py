@@ -1,0 +1,584 @@
+"""AST node definitions for Mini-C.
+
+Nodes are plain classes with ``__slots__``.  Every expression node gains a
+``ctype`` attribute during semantic analysis (`repro.minic.sema`); the
+parser leaves it ``None``.  Source locations are attached for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SourceLocation
+from repro.minic.types import CType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: Optional[SourceLocation] = None):
+        self.location = location or SourceLocation()
+
+    def children(self) -> Sequence["Node"]:
+        """Child nodes, used by generic traversals (tests, pretty printers)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is filled in by sema."""
+
+    __slots__ = ("ctype",)
+
+    def __init__(self, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.ctype: Optional[CType] = None
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"IntLiteral({self.value})"
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"FloatLiteral({self.value})"
+
+
+class StringLiteral(Expr):
+    """A byte-string literal; the terminating NUL is added during lowering."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bytes, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"StringLiteral({self.value!r})"
+
+
+class Identifier(Expr):
+    __slots__ = ("name", "decl")
+
+    def __init__(self, name: str, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.name = name
+        #: Resolved declaration (VarDecl / ParamDecl / FunctionDef), set by sema.
+        self.decl: Optional[Node] = None
+
+    def __repr__(self) -> str:
+        return f"Identifier({self.name!r})"
+
+
+class UnaryOp(Expr):
+    """Prefix unary operators: ``- ! ~ * & ++ --``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r})"
+
+
+class PostfixOp(Expr):
+    """Postfix ``++`` and ``--``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"PostfixOp({self.op!r})"
+
+
+class BinaryOp(Expr):
+    """Binary operators, including comparisons and logical ``&& ||``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(
+        self,
+        op: str,
+        left: Expr,
+        right: Expr,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Node]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.op!r})"
+
+
+class Assignment(Expr):
+    """``lhs = rhs`` or a compound assignment like ``lhs += rhs``.
+
+    For compound assignments ``op`` holds the arithmetic operator
+    (e.g. ``"+"``); for plain assignment it is ``None``.
+    """
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(
+        self,
+        target: Expr,
+        value: Expr,
+        op: Optional[str] = None,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.target = target
+        self.value = value
+        self.op = op
+
+    def children(self) -> Sequence[Node]:
+        return (self.target, self.value)
+
+    def __repr__(self) -> str:
+        return f"Assignment(op={self.op!r})"
+
+
+class CompoundRead(Expr):
+    """Marker for the implicit read of the target in ``lhs op= rhs``.
+
+    Semantic analysis desugars ``lhs += rhs`` into a plain assignment whose
+    value tree contains exactly one CompoundRead standing for the current
+    value of ``lhs``.  Lowering evaluates the target address once, loads it,
+    and substitutes the loaded value for this node — which is what C
+    requires (the lvalue is evaluated a single time).
+    """
+
+    __slots__ = ()
+
+
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise``."""
+
+    __slots__ = ("condition", "then_expr", "else_expr")
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_expr: Expr,
+        else_expr: Expr,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.condition = condition
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.condition, self.then_expr, self.else_expr)
+
+
+class Call(Expr):
+    __slots__ = ("callee", "args")
+
+    def __init__(
+        self,
+        callee: Expr,
+        args: Sequence[Expr],
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.callee = callee
+        self.args = list(args)
+
+    def children(self) -> Sequence[Node]:
+        return (self.callee, *self.args)
+
+    def __repr__(self) -> str:
+        return f"Call(nargs={len(self.args)})"
+
+
+class Index(Expr):
+    """Array subscript ``base[index]``."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+    def children(self) -> Sequence[Node]:
+        return (self.base, self.index)
+
+
+class Member(Expr):
+    """Struct member access: ``base.field`` or ``base->field``."""
+
+    __slots__ = ("base", "field", "is_arrow")
+
+    def __init__(
+        self,
+        base: Expr,
+        field: str,
+        is_arrow: bool,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.base = base
+        self.field = field
+        self.is_arrow = is_arrow
+
+    def children(self) -> Sequence[Node]:
+        return (self.base,)
+
+    def __repr__(self) -> str:
+        op = "->" if self.is_arrow else "."
+        return f"Member({op}{self.field})"
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(
+        self,
+        target_type: CType,
+        operand: Expr,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.target_type = target_type
+        self.operand = operand
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Cast({self.target_type})"
+
+
+class SizeofType(Expr):
+    __slots__ = ("queried_type",)
+
+    def __init__(self, queried_type: CType, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.queried_type = queried_type
+
+
+class SizeofExpr(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.operand = operand
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+
+# ---------------------------------------------------------------------------
+# Statements and declarations
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.expr = expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
+
+
+class EmptyStmt(Stmt):
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    """A local (or global) variable declaration.
+
+    ``vla_length`` is the runtime length expression when the declared type
+    is a variable-length array; the declared type is then an ArrayType with
+    ``length=None``.
+    """
+
+    __slots__ = ("name", "declared_type", "initializer", "vla_length", "is_global")
+
+    def __init__(
+        self,
+        name: str,
+        declared_type: CType,
+        initializer: Optional[Expr] = None,
+        vla_length: Optional[Expr] = None,
+        is_global: bool = False,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.name = name
+        self.declared_type = declared_type
+        self.initializer = initializer
+        self.vla_length = vla_length
+        self.is_global = is_global
+
+    def children(self) -> Sequence[Node]:
+        kids: List[Node] = []
+        if self.vla_length is not None:
+            kids.append(self.vla_length)
+        if self.initializer is not None:
+            kids.append(self.initializer)
+        return tuple(kids)
+
+    def __repr__(self) -> str:
+        return f"VarDecl({self.name!r}: {self.declared_type})"
+
+
+class DeclStmt(Stmt):
+    """One declaration statement, possibly declaring several variables."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: Sequence[VarDecl], location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.decls = list(decls)
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.decls)
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Stmt], location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.statements = list(statements)
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.statements)
+
+
+class If(Stmt):
+    __slots__ = ("condition", "then_branch", "else_branch")
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_branch: Stmt,
+        else_branch: Optional[Stmt] = None,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def children(self) -> Sequence[Node]:
+        kids: List[Node] = [self.condition, self.then_branch]
+        if self.else_branch is not None:
+            kids.append(self.else_branch)
+        return tuple(kids)
+
+
+class While(Stmt):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition: Expr, body: Stmt, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.condition = condition
+        self.body = body
+
+    def children(self) -> Sequence[Node]:
+        return (self.condition, self.body)
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "condition")
+
+    def __init__(self, body: Stmt, condition: Expr, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.body = body
+        self.condition = condition
+
+    def children(self) -> Sequence[Node]:
+        return (self.body, self.condition)
+
+
+class For(Stmt):
+    """``for (init; condition; step) body``; any part may be absent."""
+
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Expr],
+        body: Stmt,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+    def children(self) -> Sequence[Node]:
+        kids: List[Node] = []
+        for part in (self.init, self.condition, self.step):
+            if part is not None:
+                kids.append(part)
+        kids.append(self.body)
+        return tuple(kids)
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr] = None, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.value = value
+
+    def children(self) -> Sequence[Node]:
+        return (self.value,) if self.value is not None else ()
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+class ParamDecl(Node):
+    __slots__ = ("name", "declared_type")
+
+    def __init__(self, name: str, declared_type: CType, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.name = name
+        self.declared_type = declared_type
+
+    def __repr__(self) -> str:
+        return f"ParamDecl({self.name!r}: {self.declared_type})"
+
+
+class FunctionDef(Node):
+    """A function definition (or declaration if ``body is None``)."""
+
+    __slots__ = ("name", "return_type", "params", "body", "is_extern")
+
+    def __init__(
+        self,
+        name: str,
+        return_type: CType,
+        params: Sequence[ParamDecl],
+        body: Optional[Block],
+        is_extern: bool = False,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.name = name
+        self.return_type = return_type
+        self.params = list(params)
+        self.body = body
+        self.is_extern = is_extern
+
+    def children(self) -> Sequence[Node]:
+        kids: List[Node] = list(self.params)
+        if self.body is not None:
+            kids.append(self.body)
+        return tuple(kids)
+
+    def __repr__(self) -> str:
+        return f"FunctionDef({self.name!r})"
+
+
+class StructDef(Node):
+    """A top-level struct definition; the StructType is completed in place."""
+
+    __slots__ = ("struct_type",)
+
+    def __init__(self, struct_type, location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.struct_type = struct_type
+
+    def __repr__(self) -> str:
+        return f"StructDef({self.struct_type.tag!r})"
+
+
+class TranslationUnit(Node):
+    """The root of a parsed Mini-C source file."""
+
+    __slots__ = ("declarations",)
+
+    def __init__(self, declarations: Sequence[Node], location: Optional[SourceLocation] = None):
+        super().__init__(location)
+        self.declarations = list(declarations)
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.declarations)
+
+    def functions(self) -> List[FunctionDef]:
+        """All function definitions (with bodies) in declaration order."""
+        return [
+            decl
+            for decl in self.declarations
+            if isinstance(decl, FunctionDef) and decl.body is not None
+        ]
+
+    def globals(self) -> List[VarDecl]:
+        """All global variable declarations in declaration order."""
+        return [decl for decl in self.declarations if isinstance(decl, VarDecl)]
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants in pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

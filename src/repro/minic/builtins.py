@@ -1,0 +1,110 @@
+"""Builtin (runtime-provided) functions available to Mini-C programs.
+
+These model the slice of libc plus the experiment harness hooks that the
+paper's workloads and exploits rely on.  The VM implements each of them in
+`repro.vm.interpreter`; semantic analysis auto-declares them so Mini-C
+programs can call them without writing ``extern`` prototypes.
+
+Deliberately unsafe functions (``strcpy_``, ``input_read_unbounded``,
+``snprintf_sim`` misuse, ``sstrncpy_``) are the memory-corruption vectors
+the attack suite exploits, mirroring the CVEs in the paper:
+
+* ``snprintf_sim`` returns the *would-be* length like C ``snprintf`` —
+  the librelp CVE-2018-1000140 pattern (paper Listing 2),
+* ``sstrncpy_`` accepts a (possibly negative, i.e. huge) length —
+  the ProFTPD CVE-2006-5815 pattern,
+* ``memcpy_`` with an attacker-controlled length — the Wireshark
+  CVE-2014-2299 ``cf_read_frame_r`` pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+from repro.minic import types as ct
+
+
+class BuiltinSignature(NamedTuple):
+    """Declared signature of a runtime builtin."""
+
+    name: str
+    return_type: ct.CType
+    params: List[ct.CType]
+    variadic: bool = False
+
+
+_CHAR_PTR = ct.PointerType(ct.CHAR)
+_VOID_PTR = ct.PointerType(ct.VOID)
+
+
+def _sig(name, return_type, *params, variadic=False) -> BuiltinSignature:
+    return BuiltinSignature(name, return_type, list(params), variadic)
+
+
+#: All builtins, keyed by name.
+BUILTINS: Dict[str, BuiltinSignature] = {
+    sig.name: sig
+    for sig in [
+        # --- input channel (the attacker's entry point) -----------------
+        # Bounded read: copies at most n bytes of pending input.
+        _sig("input_read", ct.INT, _CHAR_PTR, ct.INT),
+        # Unbounded read: copies ALL pending input (classic gets()-style
+        # stack smash vector used by the synthetic RIPE-style programs).
+        _sig("input_read_unbounded", ct.INT, _CHAR_PTR),
+        # Remaining unread input bytes.
+        _sig("input_size", ct.LONG),
+        # --- output channel (attacker-observable) -----------------------
+        _sig("print_int", ct.VOID, ct.LONG),
+        _sig("print_str", ct.VOID, _CHAR_PTR),
+        _sig("output_bytes", ct.VOID, _CHAR_PTR, ct.LONG),
+        # --- string/memory (libc-alikes; trailing underscore avoids any
+        #     suggestion these are the host's libc) ----------------------
+        _sig("strlen_", ct.LONG, _CHAR_PTR),
+        _sig("strcpy_", _CHAR_PTR, _CHAR_PTR, _CHAR_PTR),
+        _sig("strncpy_", _CHAR_PTR, _CHAR_PTR, _CHAR_PTR, ct.LONG),
+        # ProFTPD's sstrncpy: length is signed and unchecked.
+        _sig("sstrncpy_", _CHAR_PTR, _CHAR_PTR, _CHAR_PTR, ct.LONG),
+        _sig("memcpy_", _VOID_PTR, _VOID_PTR, _VOID_PTR, ct.LONG),
+        _sig("memset_", _VOID_PTR, _VOID_PTR, ct.INT, ct.LONG),
+        _sig("strcmp_", ct.INT, _CHAR_PTR, _CHAR_PTR),
+        # snprintf-alike: copies src into dst bounded by size, returns the
+        # length snprintf WOULD have written (the librelp overflow lever).
+        _sig("snprintf_sim", ct.INT, _CHAR_PTR, ct.INT, _CHAR_PTR),
+        # --- heap --------------------------------------------------------
+        _sig("malloc", _VOID_PTR, ct.LONG),
+        _sig("free", ct.VOID, _VOID_PTR),
+        # --- process / harness -------------------------------------------
+        _sig("abort_", ct.VOID),
+        _sig("exit_", ct.VOID, ct.INT),
+        # Models a blocking I/O operation costing ~n cycles; used by the
+        # I/O-bound benchmark applications (ProFTPD/Wireshark analogues).
+        _sig("io_wait", ct.VOID, ct.LONG),
+        # Deterministic guest-visible PRNG for workload data generation
+        # (NOT related to Smokestack's randomness; benchmarks use it to
+        # synthesize inputs reproducibly).
+        _sig("guest_rand", ct.LONG),
+        _sig("guest_srand", ct.VOID, ct.LONG),
+    ]
+}
+
+#: Builtins that can write through a guest pointer without bounds checks;
+#: used by analyses/tests to identify corruption vectors.
+UNSAFE_BUILTINS = frozenset(
+    {
+        "input_read_unbounded",
+        "strcpy_",
+        "sstrncpy_",
+        "memcpy_",
+        "snprintf_sim",
+    }
+)
+
+
+def builtin_function_type(name: str) -> ct.FunctionType:
+    """FunctionType for builtin ``name`` (KeyError if unknown)."""
+    sig = BUILTINS[name]
+    return ct.FunctionType(sig.return_type, sig.params, sig.variadic)
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS

@@ -1,0 +1,250 @@
+"""Hand-written lexer for Mini-C.
+
+The lexer is a straightforward maximal-munch scanner.  It handles:
+
+* ``//`` line comments and ``/* ... */`` block comments,
+* decimal, hexadecimal (``0x``) and octal (``0``-prefixed) integer literals
+  with optional ``u``/``l`` suffixes (the suffixes are consumed and ignored;
+  Mini-C's type system assigns literal types by context),
+* character literals with the common C escapes,
+* string literals, decoded to ``bytes`` (Mini-C strings are byte strings,
+  as in C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError, SourceLocation
+from repro.minic.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+    "a": 7,
+    "b": 8,
+    "f": 12,
+    "v": 11,
+}
+
+
+class Lexer:
+    """Tokenizes one Mini-C source text."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Scan the whole input and return the token list (ending in EOF)."""
+        tokens = list(self._iter_tokens())
+        return tokens
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._at_end():
+                yield Token(TokenKind.EOF, "", self._location())
+                return
+            yield self._scan_token()
+
+    # -- low-level cursor helpers -------------------------------------------------
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return ch
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._column)
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self._location())
+
+    # -- scanning -----------------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._location()
+        self._advance()  # '/'
+        self._advance()  # '*'
+        while True:
+            if self._at_end():
+                raise LexError("unterminated block comment", start)
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+
+    def _scan_token(self) -> Token:
+        location = self._location()
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._scan_identifier(location)
+        if ch.isdigit():
+            return self._scan_number(location)
+        if ch == "'":
+            return self._scan_char(location)
+        if ch == '"':
+            return self._scan_string(location)
+        return self._scan_operator(location)
+
+    def _scan_identifier(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        value = text if kind is TokenKind.IDENT else None
+        return Token(kind, text, location, value)
+
+    def _scan_number(self, location: SourceLocation) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance()
+            self._advance()
+            if not _is_hex_digit(self._peek()):
+                raise self._error("expected hexadecimal digits after '0x'")
+            while _is_hex_digit(self._peek()):
+                self._advance()
+            base = 16
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            digits = self._source[start : self._pos]
+            base = 8 if len(digits) > 1 and digits[0] == "0" else 10
+        text = self._source[start : self._pos]
+        # Consume (and ignore) integer suffixes.  The empty string returned
+        # by _peek at EOF must not match (`"" in "uUlL"` is True).
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        try:
+            value = int(text, base)
+        except ValueError:
+            raise self._error(f"invalid integer literal {text!r}") from None
+        full_text = self._source[start : self._pos]
+        return Token(TokenKind.INT_LITERAL, full_text, location, value)
+
+    def _scan_char(self, location: SourceLocation) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        if self._at_end():
+            raise LexError("unterminated character literal", location)
+        ch = self._advance()
+        if ch == "\\":
+            value = self._decode_escape(location)
+        elif ch == "'":
+            raise LexError("empty character literal", location)
+        else:
+            value = ord(ch)
+            if value > 255:
+                raise LexError("non-byte character literal", location)
+        if self._at_end() or self._advance() != "'":
+            raise LexError("unterminated character literal", location)
+        return Token(
+            TokenKind.CHAR_LITERAL, self._source[start : self._pos], location, value
+        )
+
+    def _scan_string(self, location: SourceLocation) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        data = bytearray()
+        while True:
+            if self._at_end() or self._peek() == "\n":
+                raise LexError("unterminated string literal", location)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                data.append(self._decode_escape(location))
+            else:
+                encoded = ch.encode("utf-8")
+                data.extend(encoded)
+        return Token(
+            TokenKind.STRING_LITERAL,
+            self._source[start : self._pos],
+            location,
+            bytes(data),
+        )
+
+    def _decode_escape(self, location: SourceLocation) -> int:
+        if self._at_end():
+            raise LexError("unterminated escape sequence", location)
+        ch = self._advance()
+        if ch == "x":
+            digits = ""
+            while _is_hex_digit(self._peek()):
+                digits += self._advance()
+            if not digits:
+                raise LexError("\\x used with no following hex digits", location)
+            value = int(digits, 16)
+            if value > 255:
+                raise LexError("hex escape out of byte range", location)
+            return value
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        raise LexError(f"unknown escape sequence '\\{ch}'", location)
+
+    def _scan_operator(self, location: SourceLocation) -> Token:
+        remaining = self._source[self._pos :]
+        for spelling, kind in MULTI_CHAR_OPERATORS:
+            if remaining.startswith(spelling):
+                for _ in spelling:
+                    self._advance()
+                return Token(kind, spelling, location)
+        ch = self._peek()
+        kind = SINGLE_CHAR_OPERATORS.get(ch)
+        if kind is None:
+            raise self._error(f"unexpected character {ch!r}")
+        self._advance()
+        return Token(kind, ch, location)
+
+
+def _is_hex_digit(ch: str) -> bool:
+    return bool(ch) and ch in "0123456789abcdefABCDEF"
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source, filename).tokenize()

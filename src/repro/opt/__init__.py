@@ -1,0 +1,36 @@
+"""Optimizer: SSA mem2reg, constant folding, DCE and CFG simplification.
+
+The ``-O2`` analogue that reshapes the front-end's every-local-in-memory
+output into the register-resident form the paper's testbed hardened.
+"""
+
+from repro.opt.cfg import (
+    DominatorTree,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from repro.opt.constfold import fold_function, fold_module
+from repro.opt.dce import eliminate_function, eliminate_module
+from repro.opt.mem2reg import promotable_allocas, promote, promote_module
+from repro.opt.pipeline import optimize
+from repro.opt.simplifycfg import simplify_function, simplify_module
+
+__all__ = [
+    "DominatorTree",
+    "eliminate_function",
+    "eliminate_module",
+    "fold_function",
+    "fold_module",
+    "optimize",
+    "predecessors",
+    "promotable_allocas",
+    "promote",
+    "promote_module",
+    "reachable_blocks",
+    "reverse_postorder",
+    "simplify_function",
+    "simplify_module",
+    "successors",
+]

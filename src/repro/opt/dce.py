@@ -1,0 +1,89 @@
+"""Dead code elimination: drop pure instructions whose results are unused,
+and blocks that cannot be reached.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Cast,
+    Cmp,
+    ElemPtr,
+    FieldPtr,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+)
+from repro.ir.module import Function, Module
+from repro.opt.cfg import reachable_blocks
+
+#: Instruction classes with no side effects: safe to delete when unused.
+#: Loads are included (the VM has no volatile memory), allocas are NOT —
+#: removing an unused alloca changes frame layout, which is meaningful to
+#: Smokestack experiments, so a separate knob controls it.
+_PURE = (BinOp, Cmp, Cast, ElemPtr, FieldPtr, Select, Load, Phi)
+
+
+def eliminate_function(function: Function, remove_dead_allocas: bool = False) -> int:
+    """Remove dead instructions and unreachable blocks; returns removals."""
+    removed = 0
+    removed += _remove_unreachable_blocks(function)
+    changed = True
+    while changed:
+        changed = False
+        used: Set[int] = set()
+        for inst in function.instructions():
+            for operand in inst.operands:
+                used.add(id(operand))
+        for block in function.blocks:
+            kept = []
+            for inst in block.instructions:
+                is_dead = (
+                    isinstance(inst, _PURE)
+                    and id(inst) not in used
+                )
+                if not is_dead and remove_dead_allocas:
+                    is_dead = isinstance(inst, Alloca) and id(inst) not in used
+                if is_dead:
+                    removed += 1
+                    changed = True
+                else:
+                    kept.append(inst)
+            block.instructions = kept
+    return removed
+
+
+def _remove_unreachable_blocks(function: Function) -> int:
+    reachable = reachable_blocks(function)
+    dead_blocks = [b for b in function.blocks if b not in reachable]
+    if not dead_blocks:
+        return 0
+    dead_set = set(dead_blocks)
+    # Drop phi incomings that referenced removed predecessors.
+    for block in function.blocks:
+        if block in dead_set:
+            continue
+        for inst in block.instructions:
+            if not isinstance(inst, Phi):
+                break
+            kept = [
+                (value, pred)
+                for value, pred in inst.incomings
+                if pred not in dead_set
+            ]
+            if len(kept) != len(inst.incomings):
+                inst.incomings = kept
+                inst.operands = [value for value, _ in kept]
+    function.blocks = [b for b in function.blocks if b in reachable]
+    return len(dead_blocks)
+
+
+def eliminate_module(module: Module, remove_dead_allocas: bool = False) -> int:
+    return sum(
+        eliminate_function(fn, remove_dead_allocas)
+        for fn in module.functions.values()
+    )

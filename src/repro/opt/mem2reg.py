@@ -1,0 +1,172 @@
+"""mem2reg: promote scalar stack slots to SSA registers.
+
+The front-end lowers every local through memory (clang -O0 style); this
+pass rebuilds what ``-O2`` gives the paper's testbed: scalars whose
+address never escapes live in virtual registers, leaving only
+address-taken locals and aggregates on the stack.  Classic minimal-SSA
+construction — phis at the iterated dominance frontier of each promoted
+variable's definition blocks, then a renaming walk over the dominator
+tree.
+
+The pass matters to Smokestack directly: the fewer allocas survive, the
+fewer slots there are to permute — the optimization-level ablation
+(benchmarks/test_ablation_optlevel.py) quantifies the entropy and
+overhead consequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Constant, Value
+from repro.minic import types as ct
+from repro.opt.cfg import DominatorTree, predecessors, reachable_blocks
+
+
+def promotable_allocas(function: Function) -> List[Alloca]:
+    """Static scalar allocas whose address never escapes.
+
+    An alloca is promotable when every use is a ``load`` from it or a
+    ``store`` *to* it (never storing the pointer itself, passing it to a
+    call, GEP-ing it, casting it...).
+    """
+    candidates = {
+        alloca: True
+        for alloca in function.static_allocas()
+        if alloca.allocated_type.is_scalar()
+    }
+    if not candidates:
+        return []
+    for inst in function.instructions():
+        if isinstance(inst, Load):
+            continue  # loads use the pointer harmlessly
+        for position, operand in enumerate(inst.operands):
+            if operand in candidates:
+                is_store_target = (
+                    isinstance(inst, Store) and position == 1
+                )
+                if not is_store_target:
+                    candidates[operand] = False
+    return [alloca for alloca, ok in candidates.items() if ok]
+
+
+def promote(function: Function) -> int:
+    """Run mem2reg on ``function``; returns the number of promoted slots."""
+    allocas = promotable_allocas(function)
+    if not allocas:
+        return 0
+    reachable = reachable_blocks(function)
+    tree = DominatorTree(function)
+    preds = predecessors(function)
+    alloca_set = set(allocas)
+
+    # 1. Phi placement at iterated dominance frontiers.
+    phis: Dict[Phi, Alloca] = {}
+    for alloca in allocas:
+        def_blocks = {
+            inst.block
+            for inst in function.instructions()
+            if isinstance(inst, Store)
+            and inst.pointer is alloca
+            and inst.block in reachable
+        }
+        placed: Set[BasicBlock] = set()
+        work = list(def_blocks)
+        while work:
+            block = work.pop()
+            for frontier_block in tree.frontiers.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = Phi(alloca.allocated_type)
+                phi.name = function.next_value_name(
+                    (alloca.var_name or "v") + ".phi"
+                )
+                phi.block = frontier_block
+                frontier_block.instructions.insert(0, phi)
+                phis[phi] = alloca
+                if frontier_block not in def_blocks:
+                    work.append(frontier_block)
+
+    # 2. Renaming over the dominator tree.
+    children = tree.children()
+    replacements: Dict[Instruction, Value] = {}
+    dead: Set[Instruction] = set()
+
+    def undef_value(alloca: Alloca) -> Value:
+        value_type = alloca.allocated_type
+        if value_type.is_float():
+            return Constant(value_type, 0.0)
+        return Constant(value_type, 0)
+
+    def rename(block: BasicBlock, incoming: Dict[Alloca, Value]) -> None:
+        current = dict(incoming)
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and inst in phis:
+                current[phis[inst]] = inst
+            elif isinstance(inst, Alloca) and inst in alloca_set:
+                dead.add(inst)
+            elif isinstance(inst, Load) and inst.pointer in alloca_set:
+                alloca = inst.pointer
+                value = current.get(alloca)
+                if value is None:
+                    value = undef_value(alloca)
+                replacements[inst] = value
+                dead.add(inst)
+            elif isinstance(inst, Store) and inst.pointer in alloca_set:
+                current[inst.pointer] = inst.value
+                dead.add(inst)
+        # Fill phi incomings of successors.
+        from repro.opt.cfg import successors
+
+        for successor in successors(block):
+            for inst in successor.instructions:
+                if not isinstance(inst, Phi):
+                    break
+                if inst in phis:
+                    alloca = phis[inst]
+                    value = current.get(alloca)
+                    if value is None:
+                        value = undef_value(alloca)
+                    inst.add_incoming(value, block)
+        for child in children.get(block, ()):
+            rename(child, current)
+
+    rename(function.entry, {})
+
+    # 3. Resolve replacement chains (a load replaced by another dead load).
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, Instruction) and value in replacements:
+            if id(value) in seen:
+                break
+            seen.add(id(value))
+            value = replacements[value]
+        return value
+
+    for block in function.blocks:
+        for inst in block.instructions:
+            for position, operand in enumerate(inst.operands):
+                resolved = resolve(operand)
+                if resolved is not operand:
+                    inst.operands[position] = resolved
+            if isinstance(inst, Phi):
+                for index, (value, pred_block) in enumerate(list(inst.incomings)):
+                    resolved = resolve(value)
+                    if resolved is not value:
+                        inst.replace_incoming_value(index, resolved)
+
+    # 4. Delete the dead allocas/loads/stores.
+    for block in function.blocks:
+        block.instructions = [
+            inst for inst in block.instructions if inst not in dead
+        ]
+
+    return len(allocas)
+
+
+def promote_module(module: Module) -> int:
+    """Run mem2reg on every function; returns total promoted slots."""
+    return sum(promote(fn) for fn in module.functions.values())

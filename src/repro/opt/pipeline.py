@@ -1,0 +1,48 @@
+"""Optimization pipeline: the reproduction's -O1/-O2 analogue.
+
+========  ==================================================================
+level     passes
+========  ==================================================================
+``-O0``   nothing (the front-end's every-local-in-memory output)
+``-O1``   DCE (unreachable blocks + dead pure code), constant folding,
+          CFG simplification
+``-O2``   -O1 plus **mem2reg** (scalars to SSA registers) and a second
+          cleanup round
+========  ==================================================================
+
+The paper evaluates Smokestack on Clang ``-O2`` binaries, where most
+scalars live in registers and the permutable frame holds buffers, spills
+and address-taken locals.  ``optimize(module, level=2)`` reproduces that
+input shape; the optimization-level ablation measures what it does to
+Smokestack's entropy and overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.opt.constfold import fold_module
+from repro.opt.dce import eliminate_module
+from repro.opt.mem2reg import promote_module
+from repro.opt.simplifycfg import simplify_module
+
+
+def optimize(module: Module, level: int = 2) -> Dict[str, int]:
+    """Run the pipeline in place; returns per-pass work counters."""
+    if level < 0 or level > 2:
+        raise ValueError(f"optimization level must be 0..2, got {level}")
+    stats = {"dce": 0, "constfold": 0, "simplifycfg": 0, "mem2reg": 0}
+    if level == 0:
+        return stats
+    stats["dce"] += eliminate_module(module)
+    stats["constfold"] += fold_module(module)
+    stats["simplifycfg"] += simplify_module(module)
+    if level >= 2:
+        stats["mem2reg"] += promote_module(module)
+        stats["constfold"] += fold_module(module)
+        stats["dce"] += eliminate_module(module, remove_dead_allocas=True)
+        stats["simplifycfg"] += simplify_module(module)
+    verify_module(module)
+    return stats

@@ -1,0 +1,93 @@
+"""CFG simplification: merge trivial straight-line block chains.
+
+A block whose single successor has no other predecessors (and no phis)
+can absorb it; repeatedly applying this collapses the block soup the
+structured lowering produces into tighter functions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Br, Phi
+from repro.ir.module import Function, Module
+from repro.opt.cfg import predecessors
+
+
+def _replace_trivial_phis(function: Function) -> int:
+    """Replace single-incoming phis (left by branch folding) with their value."""
+    replaced = 0
+    changed = True
+    while changed:
+        changed = False
+        replacements = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, Phi):
+                    break
+                if len(inst.incomings) == 1:
+                    replacements[inst] = inst.incomings[0][0]
+        if not replacements:
+            break
+        changed = True
+        replaced += len(replacements)
+
+        def resolve(value):
+            while value in replacements:
+                value = replacements[value]
+            return value
+
+        for block in function.blocks:
+            block.instructions = [
+                inst for inst in block.instructions
+                if inst not in replacements
+            ]
+            for inst in block.instructions:
+                for position, operand in enumerate(inst.operands):
+                    inst.operands[position] = resolve(operand)
+                if isinstance(inst, Phi):
+                    for index, (value, _) in enumerate(list(inst.incomings)):
+                        inst.replace_incoming_value(index, resolve(value))
+    return replaced
+
+
+def simplify_function(function: Function) -> int:
+    """Merge single-entry/single-exit chains; returns simplifications."""
+    merged = _replace_trivial_phis(function)
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors(function)
+        for block in list(function.blocks):
+            terminator = block.terminator()
+            if not isinstance(terminator, Br):
+                continue
+            target = terminator.target
+            if target is block or target is function.entry:
+                continue
+            if len(preds[target]) != 1:
+                continue
+            if any(isinstance(inst, Phi) for inst in target.instructions):
+                continue
+            # Absorb: drop our Br, append the target's instructions.
+            block.instructions.pop()
+            for inst in target.instructions:
+                inst.block = block
+                block.instructions.append(inst)
+            function.blocks.remove(target)
+            # Phis elsewhere referencing `target` as a predecessor now see
+            # `block` instead.
+            for other in function.blocks:
+                for inst in other.instructions:
+                    if not isinstance(inst, Phi):
+                        break
+                    inst.incomings = [
+                        (value, block if pred is target else pred)
+                        for value, pred in inst.incomings
+                    ]
+            merged += 1
+            changed = True
+            break  # predecessor map is stale; recompute
+    return merged
+
+
+def simplify_module(module: Module) -> int:
+    return sum(simplify_function(fn) for fn in module.functions.values())

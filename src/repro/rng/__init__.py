@@ -1,0 +1,38 @@
+"""Randomness substrate: AES-128, CTR generation, entropy, and the four
+randomness schemes the paper evaluates (pseudo / AES-1 / AES-10 / RDRAND).
+"""
+
+from repro.rng.aes import AES128, STANDARD_ROUNDS, encrypt_block, expand_key
+from repro.rng.ctr import AesCtrGenerator
+from repro.rng.entropy import DeterministicEntropy, EntropySource, SystemEntropy
+from repro.rng.sources import (
+    PSEUDO_STATE_GLOBAL,
+    SCHEME_NAMES,
+    AesSource,
+    PseudoSource,
+    RandomSource,
+    RdrandSource,
+    make_source,
+    table1_rows,
+    xorshift64_step,
+)
+
+__all__ = [
+    "AES128",
+    "AesCtrGenerator",
+    "AesSource",
+    "DeterministicEntropy",
+    "EntropySource",
+    "PSEUDO_STATE_GLOBAL",
+    "PseudoSource",
+    "RandomSource",
+    "RdrandSource",
+    "SCHEME_NAMES",
+    "STANDARD_ROUNDS",
+    "SystemEntropy",
+    "encrypt_block",
+    "expand_key",
+    "make_source",
+    "table1_rows",
+    "xorshift64_step",
+]

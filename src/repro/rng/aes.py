@@ -1,0 +1,136 @@
+"""Pure-Python AES-128 block cipher with a configurable round count.
+
+This is the reproduction of the paper's AES-NI-accelerated generator
+(§III-D.1): Smokestack encrypts a counter under a true-random key to get a
+disclosure-resistant pseudo-random permutation index.  The paper evaluates
+both the standard 10-round AES-128 ("AES-10", high security) and a
+weakened 1-round variant ("AES-1", low security but faster); the
+``rounds`` parameter reproduces that trade-off.
+
+The implementation is the textbook FIPS-197 construction: SubBytes,
+ShiftRows, MixColumns, AddRoundKey, with the key schedule expanded up
+front.  It is validated against the FIPS-197 appendix test vector in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# S-box (FIPS-197 figure 7).
+SBOX = bytes(
+    int(x, 16)
+    for x in (
+        "63 7c 77 7b f2 6b 6f c5 30 01 67 2b fe d7 ab 76 "
+        "ca 82 c9 7d fa 59 47 f0 ad d4 a2 af 9c a4 72 c0 "
+        "b7 fd 93 26 36 3f f7 cc 34 a5 e5 f1 71 d8 31 15 "
+        "04 c7 23 c3 18 96 05 9a 07 12 80 e2 eb 27 b2 75 "
+        "09 83 2c 1a 1b 6e 5a a0 52 3b d6 b3 29 e3 2f 84 "
+        "53 d1 00 ed 20 fc b1 5b 6a cb be 39 4a 4c 58 cf "
+        "d0 ef aa fb 43 4d 33 85 45 f9 02 7f 50 3c 9f a8 "
+        "51 a3 40 8f 92 9d 38 f5 bc b6 da 21 10 ff f3 d2 "
+        "cd 0c 13 ec 5f 97 44 17 c4 a7 7e 3d 64 5d 19 73 "
+        "60 81 4f dc 22 2a 90 88 46 ee b8 14 de 5e 0b db "
+        "e0 32 3a 0a 49 06 24 5c c2 d3 ac 62 91 95 e4 79 "
+        "e7 c8 37 6d 8d d5 4e a9 6c 56 f4 ea 65 7a ae 08 "
+        "ba 78 25 2e 1c a6 b4 c6 e8 dd 74 1f 4b bd 8b 8a "
+        "70 3e b5 66 48 03 f6 0e 61 35 57 b9 86 c1 1d 9e "
+        "e1 f8 98 11 69 d9 8e 94 9b 1e 87 e9 ce 55 28 df "
+        "8c a1 89 0d bf e6 42 68 41 99 2d 0f b0 54 bb 16"
+    ).split()
+)
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+STANDARD_ROUNDS = 10
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def expand_key(key: bytes, rounds: int = STANDARD_ROUNDS) -> List[bytes]:
+    """FIPS-197 key expansion: ``rounds + 1`` round keys of 16 bytes."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+    if not 1 <= rounds <= STANDARD_ROUNDS:
+        raise ValueError(f"rounds must be in 1..{STANDARD_ROUNDS}, got {rounds}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 4 * (rounds + 1)):
+        temp = bytearray(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = bytearray(SBOX[b] for b in temp)  # SubWord
+            temp[0] ^= RCON[(i // 4) - 1]
+        words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(rounds + 1)]
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte r + 4c is row r, column c.
+    for row in range(1, 4):
+        values = [state[row + 4 * col] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            state[row + 4 * col] = values[col]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        base = 4 * col
+        a = state[base : base + 4]
+        t = a[0] ^ a[1] ^ a[2] ^ a[3]
+        u = a[0]
+        state[base + 0] = a[0] ^ t ^ _xtime(a[0] ^ a[1])
+        state[base + 1] = a[1] ^ t ^ _xtime(a[1] ^ a[2])
+        state[base + 2] = a[2] ^ t ^ _xtime(a[2] ^ a[3])
+        state[base + 3] = a[3] ^ t ^ _xtime(a[3] ^ u)
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def encrypt_block(block: bytes, round_keys: List[bytes]) -> bytes:
+    """Encrypt one 16-byte block under the expanded key schedule.
+
+    ``len(round_keys) - 1`` determines the number of rounds; the final
+    round omits MixColumns per the standard.
+    """
+    if len(block) != BLOCK_SIZE:
+        raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    rounds = len(round_keys) - 1
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, rounds):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[rounds])
+    return bytes(state)
+
+
+class AES128:
+    """Convenience wrapper binding a key and a round count."""
+
+    def __init__(self, key: bytes, rounds: int = STANDARD_ROUNDS):
+        self.rounds = rounds
+        self._round_keys = expand_key(key, rounds)
+
+    def encrypt(self, block: bytes) -> bytes:
+        return encrypt_block(block, self._round_keys)

@@ -1,0 +1,37 @@
+"""Virtual machine: memory image, loader, interpreter and cost model.
+
+The VM is the reproduction's stand-in for the paper's x86-64 testbed: it
+gives every stack object a concrete byte address in a flat memory so that
+overflows, disclosures and layout randomization behave as they would on
+hardware, and it charges deterministic cycle costs so overheads can be
+measured reproducibly.
+"""
+
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import ExecutionResult, Frame, Machine
+from repro.vm.memory import (
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    RODATA_BASE,
+    STACK_TOP,
+    Memory,
+    Segment,
+)
+from repro.vm.process import ProcessImage, load
+
+__all__ = [
+    "CODE_BASE",
+    "CostModel",
+    "DATA_BASE",
+    "ExecutionResult",
+    "Frame",
+    "HEAP_BASE",
+    "Machine",
+    "Memory",
+    "ProcessImage",
+    "RODATA_BASE",
+    "STACK_TOP",
+    "Segment",
+    "load",
+]

@@ -1,0 +1,910 @@
+"""The IR interpreter: a simulated CPU with a real, corruptible stack.
+
+Frames live at concrete addresses in the memory image; every local
+variable has a byte address, overflowing a buffer clobbers its neighbours,
+and the attacker hook can read all writable memory between inputs — the
+threat model of the paper (§III-B) made executable.
+
+Baseline (unhardened) frame layout, mirroring a conventional compiler:
+
+::
+
+    higher addresses
+    +------------------------+  <- caller's frame
+    | return cookie (8B)     |  <- integrity-checked on return
+    | [canary (8B), optional]|
+    | first-declared local   |
+    | ...                    |
+    | last-declared local    |
+    +------------------------+  <- frame base (16-aligned)
+    | VLAs (runtime allocas) |
+    lower addresses
+
+so a buffer overflow (which writes towards higher addresses) corrupts
+locals declared *before* the buffer, then the return cookie, then the
+caller's frame — the classic picture DOP exploits rely on.  Smokestack
+replaces the per-variable slots with one unified allocation whose internal
+layout is chosen per call; the interpreter executes that instrumented IR
+without any special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    SecurityViolation,
+    VMError,
+    VMFault,
+    VMLimitExceeded,
+    VMTrap,
+)
+from repro.ir import instructions as ir
+from repro.ir.module import Function, Module
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.minic import types as ct
+from repro.vm.costs import CostModel
+from repro.vm.memory import STACK_TOP, Memory
+from repro.vm.process import ProcessImage, load
+
+DEFAULT_MAX_STEPS = 50_000_000
+_U64 = (1 << 64) - 1
+
+
+class _ExitProgram(Exception):
+    """Internal: guest called exit_()."""
+
+    def __init__(self, code: int):
+        self.code = code
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = (
+        "function",
+        "block",
+        "inst_index",
+        "env",
+        "alloca_addresses",
+        "frame_base",
+        "frame_top",
+        "ret_slot",
+        "cookie",
+        "canary_addr",
+        "sp",
+        "call_site",
+    )
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block = function.entry
+        self.inst_index = 0
+        self.env: Dict[Value, object] = {}
+        self.alloca_addresses: Dict[ir.Alloca, int] = {}
+        self.frame_base = 0
+        self.frame_top = 0
+        self.ret_slot = 0
+        self.cookie = 0
+        self.canary_addr: Optional[int] = None
+        self.sp = 0
+        self.call_site: Optional[ir.Call] = None
+
+    def local_addresses(self) -> Dict[str, int]:
+        """var_name -> address for named allocas (used by attack tooling)."""
+        out: Dict[str, int] = {}
+        for alloca, address in self.alloca_addresses.items():
+            if alloca.var_name:
+                out[alloca.var_name] = address
+        return out
+
+
+class ExecutionResult:
+    """Everything observable about one run of a simulated process."""
+
+    def __init__(self):
+        self.outcome = "exit"  # exit | fault | security-violation | trap | limit
+        self.exit_code: Optional[int] = None
+        self.fault_kind: Optional[str] = None
+        self.fault_address: Optional[int] = None
+        self.violation_check: Optional[str] = None
+        self.violation_function: Optional[str] = None
+        self.error_message: str = ""
+        self.steps = 0
+        self.cycles = 0.0
+        self.max_rss = 0
+        self.int_outputs: List[int] = []
+        self.str_outputs: List[bytes] = []
+        self.output_data = bytearray()
+        self.call_counts: Dict[str, int] = {}
+
+    def crashed(self) -> bool:
+        return self.outcome in ("fault", "trap")
+
+    def detected(self) -> bool:
+        return self.outcome == "security-violation"
+
+    def finished_cleanly(self) -> bool:
+        return self.outcome == "exit"
+
+    def __repr__(self) -> str:
+        detail = {
+            "exit": f"code={self.exit_code}",
+            "fault": f"{self.fault_kind}@{self.fault_address:#x}"
+            if self.fault_address is not None
+            else str(self.fault_kind),
+            "security-violation": f"{self.violation_check} in {self.violation_function}",
+            "trap": self.error_message,
+            "limit": self.error_message,
+        }[self.outcome]
+        return f"ExecutionResult({self.outcome}: {detail}, steps={self.steps})"
+
+
+class Machine:
+    """Executes one process image.
+
+    Parameters
+    ----------
+    image_or_module:
+        A :class:`ProcessImage` or a :class:`Module` (loaded automatically).
+    inputs:
+        Initial input chunks; each ``input_read*`` call consumes one chunk.
+    input_hook:
+        Called (with the machine) whenever input is requested and the queue
+        is empty; may return the next chunk or None for EOF.  This is the
+        attacker's interactive channel: it can inspect ``machine.memory``
+        (memory disclosure) before choosing its bytes.
+    rng_source:
+        Smokestack randomness source implementing
+        ``generate(machine) -> int`` and ``cycles_per_call`` — required
+        only to run hardened modules.
+    stack_protector:
+        Adds a classic canary slot below the return cookie (models the
+        baseline's default stack-smashing protection).
+    scheduling_effects:
+        Enables the deterministic per-function cost perturbation that
+        models the paper's instruction-scheduling speedups (§V-A).
+    """
+
+    def __init__(
+        self,
+        image_or_module,
+        *,
+        inputs: Optional[List[bytes]] = None,
+        input_hook: Optional[Callable[["Machine"], Optional[bytes]]] = None,
+        rng_source=None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        stack_protector: bool = False,
+        scheduling_effects: bool = False,
+        canary_value: int = 0x00E2_57AC_CA0B_0A17,
+        stack_base_offset: int = 0,
+        record_frames: bool = False,
+    ):
+        if isinstance(image_or_module, Module):
+            self.image = load(image_or_module)
+        else:
+            self.image = image_or_module
+        self.module: Module = self.image.module
+        self.memory: Memory = self.image.memory
+        self.inputs: List[bytes] = list(inputs or [])
+        self.input_hook = input_hook
+        self.rng_source = rng_source
+        self.max_steps = max_steps
+        self.stack_protector = stack_protector
+        self.canary_value = canary_value
+        self.cost = CostModel(scheduling_effects=scheduling_effects)
+        if "smokestack" in self.module.metadata:
+            self.cost.variant = "ss"
+        self.frames: List[Frame] = []
+        self.result = ExecutionResult()
+        self.call_counts: Dict[str, int] = {}
+        self.universal_call_counter = 0  # paper: feeds AES-CTR reseeding
+        if not 0 <= stack_base_offset < self.memory.stack.size // 2:
+            raise VMError(
+                f"stack_base_offset {stack_base_offset} out of range"
+            )
+        # Load-time stack-base randomization (ASLR-style defenses).
+        self._stack_top = STACK_TOP - (stack_base_offset & ~0xF)
+        self.record_frames = record_frames
+        self.frame_trace: List[Tuple[str, int, Dict[str, int]]] = []
+        self._steps = 0
+        self._sp = self._stack_top
+        self._cookie_seed = 0x5EED_0001
+        self._guest_rng_state = 0x9E3779B97F4A7C15
+        self._heap_free: Dict[int, List[int]] = {}
+        self._builtins = self._build_builtin_table()
+        self._executors = self._build_executor_table()
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Tuple[int, ...] = ()) -> ExecutionResult:
+        """Execute ``entry`` to completion; never raises for guest errors."""
+        function = self.module.get_function(entry)
+        try:
+            self._push_frame(function, list(args), call_site=None)
+            exit_value = self._execute_loop()
+            self.result.outcome = "exit"
+            self.result.exit_code = exit_value
+        except VMFault as fault:
+            self.result.outcome = "fault"
+            self.result.fault_kind = fault.kind
+            self.result.fault_address = fault.address
+            self.result.error_message = str(fault)
+        except SecurityViolation as violation:
+            self.result.outcome = "security-violation"
+            self.result.violation_check = violation.check
+            self.result.violation_function = violation.function
+            self.result.error_message = str(violation)
+        except VMTrap as trap:
+            self.result.outcome = "trap"
+            self.result.error_message = str(trap)
+        except VMLimitExceeded as limit:
+            self.result.outcome = "limit"
+            self.result.error_message = str(limit)
+        except _ExitProgram as exit_program:
+            self.result.outcome = "exit"
+            self.result.exit_code = exit_program.code
+        self.result.steps = self._steps
+        self.result.cycles = self.cost.cycles
+        self.result.max_rss = self.memory.max_rss_bytes()
+        self.result.call_counts = dict(self.call_counts)
+        return self.result
+
+    def current_frame(self) -> Frame:
+        if not self.frames:
+            raise VMError("no active frame")
+        return self.frames[-1]
+
+    def baseline_frame_layout(self, function_name: str) -> Dict[str, int]:
+        """The *static* layout an attacker derives from the binary.
+
+        Returns var_name -> offset below the frame top (positive numbers;
+        larger offset = lower address).  Only meaningful for unhardened
+        functions whose layout is the same every call; for a
+        Smokestack-hardened function the named slots no longer exist and
+        this returns an empty mapping — which is precisely what the
+        attacker's static analysis would find.
+        """
+        function = self.module.get_function(function_name)
+        offsets: Dict[str, int] = {}
+        cursor = 8  # return cookie
+        if self.stack_protector:
+            cursor += 8
+        for alloca in function.static_allocas():
+            if not alloca.is_static():
+                continue
+            size = alloca.static_size()
+            cursor += size
+            remainder = cursor % alloca.align
+            if remainder:
+                cursor += alloca.align - remainder
+            # Pass-internal slots (the Smokestack unified frame, padding
+            # defenses' dummies) are not source variables: static analysis
+            # sees an opaque allocation, not a named layout.
+            if alloca.var_name and not alloca.var_name.startswith("__"):
+                offsets[alloca.var_name] = cursor
+        return offsets
+
+    # -- frame management ---------------------------------------------------------------
+
+    def _push_frame(
+        self,
+        function: Function,
+        args: List[object],
+        call_site: Optional[ir.Call],
+    ) -> None:
+        if len(args) != len(function.params):
+            raise VMError(
+                f"call to '{function.name}' with {len(args)} args, "
+                f"expected {len(function.params)}"
+            )
+        if len(self.frames) >= 4096:
+            raise VMLimitExceeded("call depth limit (4096) exceeded")
+        self.cost.charge_frame_setup()
+        self.call_counts[function.name] = self.call_counts.get(function.name, 0) + 1
+        self.universal_call_counter += 1
+        frame = Frame(function)
+        frame.call_site = call_site
+        frame.frame_top = _align_down(self._sp, 16)
+        frame.ret_slot = frame.frame_top - 8
+        frame.cookie = self._make_cookie(function)
+        cursor = frame.ret_slot
+        if self.stack_protector:
+            cursor -= 8
+            frame.canary_addr = cursor
+        for alloca in function.static_allocas():
+            size = alloca.static_size()
+            cursor -= size
+            cursor = _align_down(cursor, alloca.align)
+            frame.alloca_addresses[alloca] = cursor
+        frame.frame_base = _align_down(cursor, 16)
+        frame.sp = frame.frame_base
+        self.memory.touch_stack(frame.frame_base)
+        self.memory.write_int(frame.ret_slot, frame.cookie, 8)
+        if frame.canary_addr is not None:
+            self.memory.write_int(frame.canary_addr, self.canary_value, 8)
+        for argument, value in zip(function.params, args):
+            frame.env[argument] = value
+        self.frames.append(frame)
+        self._sp = frame.frame_base
+        if self.record_frames:
+            self.frame_trace.append(
+                (function.name, frame.frame_top, frame.local_addresses())
+            )
+
+    def _pop_frame(self, return_value: Optional[object]) -> None:
+        frame = self.frames.pop()
+        self.cost.charge_frame_teardown()
+        # The canary is verified in the epilogue BEFORE the return address
+        # is consumed — matching real stack-protector codegen.
+        if frame.canary_addr is not None:
+            canary = self.memory.read_int(frame.canary_addr, 8, signed=False)
+            if canary != self.canary_value:
+                raise SecurityViolation(
+                    "stack-canary", frame.function.name, "canary clobbered"
+                )
+        stored_cookie = self.memory.read_int(frame.ret_slot, 8, signed=False)
+        if stored_cookie != frame.cookie:
+            raise VMFault(
+                "corrupted-return-address",
+                frame.ret_slot,
+                f"return cookie smashed in '{frame.function.name}'",
+            )
+        if self.frames:
+            caller = self.frames[-1]
+            self._sp = caller.sp
+            call_site = frame.call_site
+            if call_site is not None and call_site.has_result():
+                caller.env[call_site] = self._coerce(return_value, call_site.ctype)
+        else:
+            self._sp = self._stack_top
+            self._final_return = return_value
+
+    def _make_cookie(self, function: Function) -> int:
+        # The cookie models the saved return address: deterministic per
+        # call path (callee, caller, depth) exactly as a real return
+        # address is, so that a disclosed value replayed by an attacker is
+        # accepted — real stacks offer no per-call return-address
+        # freshness — while accidental corruption is still caught.
+        base = self.image.function_addresses.get(function.name, 0)
+        caller = self.frames[-1].function.name if self.frames else ""
+        caller_base = self.image.function_addresses.get(caller, 0)
+        depth = len(self.frames)
+        mixed = (base + 1) * 0x9E3779B97F4A7C15 + caller_base * 0xBF58476D1CE4E5B9
+        mixed ^= depth * 0x94D049BB133111EB
+        return (mixed ^ self._cookie_seed) & _U64
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def _execute_loop(self) -> Optional[int]:
+        self._final_return: Optional[object] = None
+        while self.frames:
+            frame = self.frames[-1]
+            if frame.inst_index >= len(frame.block.instructions):
+                raise VMError(
+                    f"fell off block '{frame.block.label}' in "
+                    f"'{frame.function.name}'"
+                )
+            inst = frame.block.instructions[frame.inst_index]
+            frame.inst_index += 1
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise VMLimitExceeded(
+                    f"step limit of {self.max_steps} exceeded "
+                    f"(runaway loop or corrupted counter)"
+                )
+            self.cost.charge_instruction(inst, frame.function.name)
+            executor = self._executors.get(type(inst))
+            if executor is None:
+                raise VMError(f"no executor for {type(inst).__name__}")
+            executor(frame, inst)
+        value = self._final_return
+        if value is None:
+            return 0
+        return int(value)
+
+    # -- value plumbing -------------------------------------------------------------------
+
+    def _value(self, frame: Frame, value: Value):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalVariable):
+            return self.image.global_addresses[value.name]
+        try:
+            return frame.env[value]
+        except KeyError:
+            raise VMError(
+                f"use of undefined value %{value.name} in "
+                f"'{frame.function.name}' (block not yet executed?)"
+            ) from None
+
+    def _coerce(self, value, ctype: ct.CType):
+        if value is None:
+            return 0
+        if ctype.is_float():
+            return float(value)
+        if ctype.is_pointer():
+            return int(value) & _U64
+        if ctype.is_integer():
+            return _wrap_int(int(value), ctype)
+        return value
+
+    # -- executors --------------------------------------------------------------------------
+
+    def _build_executor_table(self):
+        return {
+            ir.Alloca: self._exec_alloca,
+            ir.Load: self._exec_load,
+            ir.Store: self._exec_store,
+            ir.ElemPtr: self._exec_elemptr,
+            ir.FieldPtr: self._exec_fieldptr,
+            ir.BinOp: self._exec_binop,
+            ir.Cmp: self._exec_cmp,
+            ir.Cast: self._exec_cast,
+            ir.Select: self._exec_select,
+            ir.Call: self._exec_call,
+            ir.Phi: self._exec_phi,
+            ir.Br: self._exec_br,
+            ir.CondBr: self._exec_condbr,
+            ir.Ret: self._exec_ret,
+            ir.Unreachable: self._exec_unreachable,
+        }
+
+    def _exec_alloca(self, frame: Frame, inst: ir.Alloca) -> None:
+        if inst.is_static():
+            frame.env[inst] = frame.alloca_addresses[inst]
+            return
+        self.cost.charge_dynamic_alloca()
+        count = int(self._value(frame, inst.count))
+        if count < 0:
+            raise VMFault("bad-alloca", frame.sp, f"negative VLA length {count}")
+        element = inst.allocated_type
+        size = element.size() * count if element.is_complete() else count
+        cursor = frame.sp - size
+        cursor = _align_down(cursor, inst.align)
+        self.memory.touch_stack(cursor)
+        frame.sp = cursor
+        self._sp = cursor
+        frame.env[inst] = cursor
+
+    def _exec_load(self, frame: Frame, inst: ir.Load) -> None:
+        address = int(self._value(frame, inst.pointer))
+        frame.env[inst] = self._read_typed(address, inst.ctype)
+
+    def _exec_store(self, frame: Frame, inst: ir.Store) -> None:
+        address = int(self._value(frame, inst.pointer))
+        value = self._value(frame, inst.value)
+        self._write_typed(address, value, inst.value.ctype)
+
+    def _read_typed(self, address: int, ctype: ct.CType):
+        if ctype.is_pointer():
+            return self.memory.read_int(address, 8, signed=False)
+        if ctype.is_float():
+            return self.memory.read_float(address, ctype.size())
+        if ctype.is_integer():
+            return self.memory.read_int(address, ctype.size(), getattr(ctype, "signed", True))
+        raise VMError(f"cannot load type {ctype}")
+
+    def _write_typed(self, address: int, value, ctype: ct.CType) -> None:
+        if ctype.is_pointer():
+            self.memory.write_int(address, int(value) & _U64, 8)
+        elif ctype.is_float():
+            self.memory.write_float(address, float(value), ctype.size())
+        elif ctype.is_integer():
+            self.memory.write_int(address, int(value), ctype.size())
+        else:
+            raise VMError(f"cannot store type {ctype}")
+
+    def _exec_elemptr(self, frame: Frame, inst: ir.ElemPtr) -> None:
+        base = int(self._value(frame, inst.base))
+        index = int(self._value(frame, inst.index))
+        frame.env[inst] = (base + index * inst.element_type.size()) & _U64
+
+    def _exec_fieldptr(self, frame: Frame, inst: ir.FieldPtr) -> None:
+        base = int(self._value(frame, inst.base))
+        frame.env[inst] = (base + inst.byte_offset) & _U64
+
+    def _exec_binop(self, frame: Frame, inst: ir.BinOp) -> None:
+        lhs = self._value(frame, inst.lhs)
+        rhs = self._value(frame, inst.rhs)
+        frame.env[inst] = _apply_binop(inst.op, lhs, rhs, inst.ctype)
+
+    def _exec_cmp(self, frame: Frame, inst: ir.Cmp) -> None:
+        lhs = self._value(frame, inst.lhs)
+        rhs = self._value(frame, inst.rhs)
+        frame.env[inst] = _apply_cmp(inst.op, lhs, rhs, inst.lhs.ctype)
+
+    def _exec_cast(self, frame: Frame, inst: ir.Cast) -> None:
+        value = self._value(frame, inst.value)
+        frame.env[inst] = _apply_cast(inst.kind, value, inst.value.ctype, inst.ctype)
+
+    def _exec_select(self, frame: Frame, inst: ir.Select) -> None:
+        cond, a, b = (self._value(frame, op) for op in inst.operands)
+        frame.env[inst] = a if cond else b
+
+    def _exec_br(self, frame: Frame, inst: ir.Br) -> None:
+        self._enter_block(frame, inst.target)
+
+    def _exec_condbr(self, frame: Frame, inst: ir.CondBr) -> None:
+        cond = self._value(frame, inst.cond)
+        self._enter_block(frame, inst.true_target if cond else inst.false_target)
+
+    def _enter_block(self, frame: Frame, target) -> None:
+        """Branch into ``target``, executing its phis as a parallel copy.
+
+        All of the block's leading phis read their incoming values for the
+        edge being taken *before* any of them is assigned, so swap-shaped
+        phi groups behave correctly.
+        """
+        source = frame.block
+        leading = 0
+        values = []
+        for inst in target.instructions:
+            if not isinstance(inst, ir.Phi):
+                break
+            leading += 1
+            values.append(
+                (inst, self._value(frame, inst.incoming_for(source)))
+            )
+        for phi, value in values:
+            frame.env[phi] = self._coerce(value, phi.ctype)
+        frame.block = target
+        frame.inst_index = leading
+
+    def _exec_phi(self, frame: Frame, inst: "ir.Phi") -> None:
+        # Phis are consumed by _enter_block; executing one directly means
+        # the block was entered without a branch (a pass bug).
+        raise VMError(
+            f"phi executed directly in '{frame.function.name}' "
+            f"(phis must start a branched-to block)"
+        )
+
+    def _exec_ret(self, frame: Frame, inst: ir.Ret) -> None:
+        value = self._value(frame, inst.value) if inst.value is not None else None
+        self._pop_frame(value)
+
+    def _exec_unreachable(self, frame: Frame, inst: ir.Unreachable) -> None:
+        raise VMTrap(f"unreachable executed in '{frame.function.name}'")
+
+    def _exec_call(self, frame: Frame, inst: ir.Call) -> None:
+        args = [self._value(frame, arg) for arg in inst.args]
+        callee = inst.callee
+        if not isinstance(callee, str):
+            self._push_frame(callee, args, call_site=inst)
+            return
+        if callee in self.module.functions:
+            self._push_frame(self.module.functions[callee], args, call_site=inst)
+            return
+        handler = self._builtins.get(callee)
+        if handler is None:
+            raise VMError(f"call to unknown builtin '{callee}'")
+        result = handler(args)
+        if inst.has_result():
+            frame.env[inst] = self._coerce(result, inst.ctype)
+
+    # -- builtins ---------------------------------------------------------------------------
+
+    def _build_builtin_table(self):
+        return {
+            "input_read": self._bi_input_read,
+            "input_read_unbounded": self._bi_input_read_unbounded,
+            "input_size": self._bi_input_size,
+            "print_int": self._bi_print_int,
+            "print_str": self._bi_print_str,
+            "output_bytes": self._bi_output_bytes,
+            "strlen_": self._bi_strlen,
+            "strcpy_": self._bi_strcpy,
+            "strncpy_": self._bi_strncpy,
+            "sstrncpy_": self._bi_sstrncpy,
+            "memcpy_": self._bi_memcpy,
+            "memset_": self._bi_memset,
+            "strcmp_": self._bi_strcmp,
+            "snprintf_sim": self._bi_snprintf,
+            "malloc": self._bi_malloc,
+            "free": self._bi_free,
+            "abort_": self._bi_abort,
+            "exit_": self._bi_exit,
+            "io_wait": self._bi_io_wait,
+            "guest_rand": self._bi_guest_rand,
+            "guest_srand": self._bi_guest_srand,
+            "__ss_rand": self._bi_ss_rand,
+            "__ss_fail": self._bi_ss_fail,
+        }
+
+    def _next_input_chunk(self) -> Optional[bytes]:
+        if self.inputs:
+            return self.inputs.pop(0)
+        if self.input_hook is not None:
+            return self.input_hook(self)
+        return None
+
+    def _bi_input_read(self, args) -> int:
+        buffer, limit = int(args[0]), int(args[1])
+        chunk = self._next_input_chunk()
+        if chunk is None:
+            return 0
+        data = chunk[: max(0, limit)]
+        self.memory.write_bytes(buffer, data)
+        self.cost.charge_builtin("input_read", len(data))
+        return len(data)
+
+    def _bi_input_read_unbounded(self, args) -> int:
+        buffer = int(args[0])
+        chunk = self._next_input_chunk()
+        if chunk is None:
+            return 0
+        self.memory.write_bytes(buffer, chunk)
+        self.cost.charge_builtin("input_read_unbounded", len(chunk))
+        return len(chunk)
+
+    def _bi_input_size(self, args) -> int:
+        return sum(len(chunk) for chunk in self.inputs)
+
+    def _bi_print_int(self, args) -> None:
+        self.result.int_outputs.append(int(args[0]))
+        self.cost.charge_builtin("print_int")
+
+    def _bi_print_str(self, args) -> None:
+        text = self.memory.read_cstring(int(args[0]))
+        self.result.str_outputs.append(text)
+        self.cost.charge_builtin("print_str", len(text))
+
+    def _bi_output_bytes(self, args) -> None:
+        pointer, count = int(args[0]), int(args[1])
+        data = self.memory.read_bytes(pointer, count)
+        self.result.output_data.extend(data)
+        self.cost.charge_builtin("output_bytes", count)
+
+    def _bi_strlen(self, args) -> int:
+        text = self.memory.read_cstring(int(args[0]))
+        self.cost.charge_builtin("strlen_", len(text))
+        return len(text)
+
+    def _bi_strcpy(self, args) -> int:
+        dst, src = int(args[0]), int(args[1])
+        text = self.memory.read_cstring(src)
+        self.memory.write_bytes(dst, text + b"\x00")
+        self.cost.charge_builtin("strcpy_", len(text))
+        return dst
+
+    def _bi_strncpy(self, args) -> int:
+        dst, src, count = int(args[0]), int(args[1]), int(args[2])
+        if count < 0:
+            raise VMFault("bad-length", dst, f"strncpy_ length {count}")
+        text = self.memory.read_cstring(src)[:count]
+        padded = text + b"\x00" * (count - len(text))
+        self.memory.write_bytes(dst, padded)
+        self.cost.charge_builtin("strncpy_", count)
+        return dst
+
+    def _bi_sstrncpy(self, args) -> int:
+        # ProFTPD's sstrncpy: a negative length is not rejected — it is the
+        # CVE-2006-5815 vector.  A negative count behaves like an unbounded
+        # copy of the whole source string.
+        dst, src, count = int(args[0]), int(args[1]), int(args[2])
+        text = self.memory.read_cstring(src)
+        if count >= 0:
+            text = text[: max(0, count - 1)]
+        self.memory.write_bytes(dst, text + b"\x00")
+        self.cost.charge_builtin("sstrncpy_", len(text))
+        return dst
+
+    def _bi_memcpy(self, args) -> int:
+        dst, src, count = int(args[0]), int(args[1]), int(args[2])
+        if count < 0:
+            raise VMFault("bad-length", dst, f"memcpy_ length {count}")
+        data = self.memory.read_bytes(src, count)
+        self.memory.write_bytes(dst, data)
+        self.cost.charge_builtin("memcpy_", count)
+        return dst
+
+    def _bi_memset(self, args) -> int:
+        dst, byte, count = int(args[0]), int(args[1]) & 0xFF, int(args[2])
+        if count < 0:
+            raise VMFault("bad-length", dst, f"memset_ length {count}")
+        self.memory.write_bytes(dst, bytes([byte]) * count)
+        self.cost.charge_builtin("memset_", count)
+        return dst
+
+    def _bi_strcmp(self, args) -> int:
+        a = self.memory.read_cstring(int(args[0]))
+        b = self.memory.read_cstring(int(args[1]))
+        self.cost.charge_builtin("strcmp_", min(len(a), len(b)))
+        if a == b:
+            return 0
+        return -1 if a < b else 1
+
+    def _bi_snprintf(self, args) -> int:
+        # snprintf_sim(dst, size, src): C semantics — writes at most size-1
+        # bytes plus NUL, returns the length it WOULD have written.  The
+        # return value exceeding the space actually used is the librelp
+        # CVE-2018-1000140 overflow lever (paper §II-C).  A negative size
+        # models C's size_t wrap-around: the caller computed
+        # `sizeof(buf) - offset` with offset past the buffer, which in C
+        # becomes a huge unsigned value — i.e. an unbounded write.
+        dst, size, src = int(args[0]), int(args[1]), int(args[2])
+        text = self.memory.read_cstring(src)
+        if size > 0:
+            written = text[: size - 1]
+            self.memory.write_bytes(dst, written + b"\x00")
+        elif size < 0:
+            self.memory.write_bytes(dst, text + b"\x00")
+        self.cost.charge_builtin("snprintf_sim", min(len(text), abs(size)))
+        return len(text)
+
+    def _bi_malloc(self, args) -> int:
+        size = int(args[0])
+        if size < 0:
+            raise VMFault("bad-length", 0, f"malloc({size})")
+        size = max(16, (size + 15) & ~15)
+        free_list = self._heap_free.get(size)
+        if free_list:
+            return free_list.pop()
+        self.cost.charge_builtin("malloc")
+        return self.memory.heap_grow(size)
+
+    def _bi_free(self, args) -> None:
+        # Size information is not tracked per pointer; freed blocks are
+        # recycled only through malloc's size-keyed free list when the VM
+        # can infer the size.  For the reproduction's workloads a bump
+        # allocator is sufficient; free is a no-op by design.
+        self.cost.charge_builtin("free")
+
+    def _bi_abort(self, args) -> None:
+        raise VMTrap("guest called abort_()")
+
+    def _bi_exit(self, args) -> None:
+        raise _ExitProgram(int(args[0]))
+
+    def _bi_io_wait(self, args) -> None:
+        cycles = max(0, int(args[0]))
+        self.cost.charge(float(cycles))
+
+    def _bi_guest_rand(self, args) -> int:
+        # xorshift64*: deterministic workload-data generator (guest-visible,
+        # unrelated to Smokestack's security randomness).
+        state = self._guest_rng_state
+        state ^= (state >> 12) & _U64
+        state ^= (state << 25) & _U64
+        state ^= (state >> 27) & _U64
+        state &= _U64
+        self._guest_rng_state = state or 0x9E3779B97F4A7C15
+        return (state * 0x2545F4914F6CDD1D) & ((1 << 63) - 1)
+
+    def _bi_guest_srand(self, args) -> None:
+        self._guest_rng_state = (int(args[0]) & _U64) or 0x9E3779B97F4A7C15
+
+    def _bi_ss_rand(self, args) -> int:
+        if self.rng_source is None:
+            raise VMError(
+                "hardened module executed without an rng_source; pass one "
+                "to Machine(rng_source=...)"
+            )
+        self.cost.charge(self.rng_source.cycles_per_call)
+        return self.rng_source.generate(self) & _U64
+
+    def _bi_ss_fail(self, args) -> None:
+        function_name = self.frames[-1].function.name if self.frames else "?"
+        raise SecurityViolation(
+            "function-identifier",
+            function_name,
+            "prologue/epilogue identifier mismatch",
+        )
+
+
+# -- pure helpers ------------------------------------------------------------------------
+
+
+def _align_down(value: int, alignment: int) -> int:
+    return value - (value % alignment)
+
+
+def _wrap_int(value: int, ctype: ct.CType) -> int:
+    bits = ctype.size() * 8
+    value &= (1 << bits) - 1
+    if getattr(ctype, "signed", False) and value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _to_unsigned(value: int, ctype: ct.CType) -> int:
+    bits = ctype.size() * 8
+    return value & ((1 << bits) - 1)
+
+
+def _apply_binop(op: str, lhs, rhs, result_type: ct.CType):
+    if op == "add":
+        return _wrap_int(int(lhs) + int(rhs), result_type)
+    if op == "sub":
+        return _wrap_int(int(lhs) - int(rhs), result_type)
+    if op == "mul":
+        return _wrap_int(int(lhs) * int(rhs), result_type)
+    if op in ("sdiv", "srem"):
+        a, b = int(lhs), int(rhs)
+        if b == 0:
+            raise VMTrap("integer division by zero")
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        if op == "sdiv":
+            return _wrap_int(quotient, result_type)
+        return _wrap_int(a - quotient * b, result_type)
+    if op in ("udiv", "urem"):
+        a = _to_unsigned(int(lhs), result_type)
+        b = _to_unsigned(int(rhs), result_type)
+        if b == 0:
+            raise VMTrap("integer division by zero")
+        return _wrap_int(a // b if op == "udiv" else a % b, result_type)
+    if op == "and":
+        return _wrap_int(int(lhs) & int(rhs), result_type)
+    if op == "or":
+        return _wrap_int(int(lhs) | int(rhs), result_type)
+    if op == "xor":
+        return _wrap_int(int(lhs) ^ int(rhs), result_type)
+    if op in ("shl", "lshr", "ashr"):
+        bits = result_type.size() * 8
+        shift = int(rhs) & (bits - 1)
+        if op == "shl":
+            return _wrap_int(int(lhs) << shift, result_type)
+        if op == "lshr":
+            return _wrap_int(_to_unsigned(int(lhs), result_type) >> shift, result_type)
+        return _wrap_int(int(lhs) >> shift, result_type)
+    if op == "fadd":
+        return float(lhs) + float(rhs)
+    if op == "fsub":
+        return float(lhs) - float(rhs)
+    if op == "fmul":
+        return float(lhs) * float(rhs)
+    if op == "fdiv":
+        denominator = float(rhs)
+        if denominator == 0.0:
+            return float("inf") if float(lhs) > 0 else float("-inf")
+        return float(lhs) / denominator
+    raise VMError(f"unknown binop '{op}'")
+
+
+def _apply_cmp(op: str, lhs, rhs, operand_type: ct.CType) -> int:
+    if op.startswith("f"):
+        a, b = float(lhs), float(rhs)
+        table = {
+            "feq": a == b, "fne": a != b,
+            "flt": a < b, "fle": a <= b, "fgt": a > b, "fge": a >= b,
+        }
+        return int(table[op])
+    if op in ("eq", "ne"):
+        equal = int(lhs) == int(rhs)
+        return int(equal if op == "eq" else not equal)
+    if op[0] == "u" or operand_type.is_pointer():
+        a = _to_unsigned(int(lhs), operand_type) if operand_type.is_integer() else int(lhs) & _U64
+        b = _to_unsigned(int(rhs), operand_type) if operand_type.is_integer() else int(rhs) & _U64
+    else:
+        a, b = int(lhs), int(rhs)
+    suffix = op[1:]
+    table = {
+        "lt": a < b, "le": a <= b, "gt": a > b, "ge": a >= b,
+    }
+    return int(table[suffix])
+
+
+def _apply_cast(kind: str, value, from_type: ct.CType, to_type: ct.CType):
+    if kind in ("trunc", "zext", "sext", "bitcast", "ptrtoint", "inttoptr"):
+        if kind == "zext":
+            value = _to_unsigned(int(value), from_type)
+        if to_type.is_pointer():
+            return int(value) & _U64
+        if to_type.is_integer():
+            return _wrap_int(int(value), to_type)
+        return value
+    if kind in ("fptosi", "fptoui"):
+        return _wrap_int(int(float(value)), to_type)
+    if kind in ("sitofp",):
+        return float(int(value))
+    if kind == "uitofp":
+        return float(_to_unsigned(int(value), from_type))
+    if kind == "fpext":
+        return float(value)
+    if kind == "fptrunc":
+        import struct as _struct
+
+        return _struct.unpack("<f", _struct.pack("<f", float(value)))[0]
+    raise VMError(f"unknown cast '{kind}'")

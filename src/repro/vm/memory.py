@@ -1,0 +1,239 @@
+"""Flat byte-addressable memory for the simulated process.
+
+The memory image is divided into segments mirroring a conventional Linux
+process (and therefore the paper's testbed):
+
+========  ==========  ===========  =======================================
+segment   base        permissions  contents
+========  ==========  ===========  =======================================
+null      0x0         none         guard page; any access faults
+code      0x10000     r-x          one slot per function (call targets)
+rodata    0x100000    r--          string literals, Smokestack P-BOX
+data      0x200000    rw-          globals, memory-backed PRNG state
+heap      0x400000    rw-          malloc arena (bump + free list)
+stack     grows down  rw-          call frames
+========  ==========  ===========  =======================================
+
+Addresses are plain integers.  All multi-byte accesses are little-endian.
+Crucially for the DOP experiments, **writes are only checked against
+segment bounds and permissions — never against object bounds** — so a
+buffer overflow really does corrupt whatever the adjacent bytes are,
+exactly like hardware.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VMFault
+
+# Segment bases (chosen far apart so segments can grow in tests).
+CODE_BASE = 0x0001_0000
+RODATA_BASE = 0x0010_0000
+DATA_BASE = 0x0020_0000
+HEAP_BASE = 0x0040_0000
+STACK_TOP = 0x0080_0000
+DEFAULT_STACK_LIMIT = 0x20_0000  # 2 MiB
+POINTER_BYTES = 8
+
+
+class Segment:
+    """One contiguous mapped region."""
+
+    __slots__ = ("name", "base", "data", "readable", "writable", "executable")
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        readable: bool = True,
+        writable: bool = True,
+        executable: bool = False,
+    ):
+        self.name = name
+        self.base = base
+        self.data = bytearray(size)
+        self.readable = readable
+        self.writable = writable
+        self.executable = executable
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+    def grow(self, new_size: int) -> None:
+        if new_size > len(self.data):
+            self.data.extend(b"\x00" * (new_size - len(self.data)))
+
+
+class Memory:
+    """The full address space of one simulated process."""
+
+    def __init__(self, stack_limit: int = DEFAULT_STACK_LIMIT):
+        stack_base = STACK_TOP - stack_limit
+        self.code = Segment("code", CODE_BASE, 0, writable=False, executable=True)
+        self.rodata = Segment("rodata", RODATA_BASE, 0, writable=False)
+        self.data = Segment("data", DATA_BASE, 0)
+        self.heap = Segment("heap", HEAP_BASE, 0)
+        self.stack = Segment("stack", stack_base, stack_limit)
+        self._segments: List[Segment] = [
+            self.code,
+            self.rodata,
+            self.data,
+            self.heap,
+            self.stack,
+        ]
+        # High-water marks for ru_maxrss-style accounting.
+        self._heap_hwm = 0
+        self._stack_hwm_low = STACK_TOP  # lowest touched stack address
+        # When True, writes to rodata fault (normal).  Loaders flip this
+        # off briefly while installing images.
+        self._protect = True
+
+    # -- mapping helpers -----------------------------------------------------------
+
+    def segment_for(self, address: int, length: int = 1) -> Segment:
+        for segment in self._segments:
+            if segment.contains(address, length):
+                return segment
+        # Distinguish the classic null deref for nicer diagnostics.
+        if 0 <= address < 0x1000:
+            raise VMFault("null-deref", address)
+        raise VMFault("unmapped", address)
+
+    def unprotected(self) -> "_Unprotect":
+        """Context manager that lets the loader write read-only segments."""
+        return _Unprotect(self)
+
+    # -- raw byte access ---------------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if length < 0:
+            raise VMFault("bad-length", address, f"negative read of {length}")
+        if length == 0:
+            return b""
+        segment = self.segment_for(address, length)
+        if not segment.readable:
+            raise VMFault("read-protected", address)
+        offset = address - segment.base
+        return bytes(segment.data[offset : offset + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if not data:
+            return
+        segment = self.segment_for(address, len(data))
+        if self._protect and not segment.writable:
+            raise VMFault("write-to-readonly", address)
+        offset = address - segment.base
+        segment.data[offset : offset + len(data)] = data
+        if segment is self.stack and address < self._stack_hwm_low:
+            self._stack_hwm_low = address
+
+    # -- typed access --------------------------------------------------------------------
+
+    def read_int(self, address: int, size: int, signed: bool) -> int:
+        raw = self.read_bytes(address, size)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+
+    def read_float(self, address: int, size: int) -> float:
+        raw = self.read_bytes(address, size)
+        return struct.unpack("<f" if size == 4 else "<d", raw)[0]
+
+    def write_float(self, address: int, value: float, size: int) -> None:
+        self.write_bytes(address, struct.pack("<f" if size == 4 else "<d", value))
+
+    def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string (faults propagate)."""
+        out = bytearray()
+        cursor = address
+        while len(out) < limit:
+            byte = self.read_bytes(cursor, 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        raise VMFault("runaway-string", address, "unterminated string")
+
+    # -- segment setup (used by the loader) ------------------------------------------------
+
+    def install(self, segment_name: str, image: bytes) -> int:
+        """Append ``image`` to a segment; returns its base address."""
+        segment = {
+            "code": self.code,
+            "rodata": self.rodata,
+            "data": self.data,
+        }[segment_name]
+        address = segment.end
+        segment.grow(segment.size + len(image))
+        offset = address - segment.base
+        segment.data[offset : offset + len(image)] = image
+        return address
+
+    # -- heap ---------------------------------------------------------------------------
+
+    def heap_grow(self, size: int) -> int:
+        """Extend the heap; returns the base address of the new space."""
+        address = self.heap.end
+        if address + size > self.stack.base:
+            raise VMFault("out-of-memory", address, "heap/stack collision")
+        self.heap.grow(self.heap.size + size)
+        self._heap_hwm = max(self._heap_hwm, self.heap.size)
+        return address
+
+    # -- accounting ------------------------------------------------------------------------
+
+    def touch_stack(self, low_address: int) -> None:
+        """Record that the stack reaches down to ``low_address``."""
+        if low_address < self.stack.base:
+            raise VMFault("stack-overflow", low_address)
+        if low_address < self._stack_hwm_low:
+            self._stack_hwm_low = low_address
+
+    def max_rss_bytes(self) -> int:
+        """ru_maxrss analogue: peak bytes of touched memory.
+
+        Counts the full rodata/data/code images (they are mapped and
+        touched at load), the heap high-water mark, and the deepest stack
+        extent.
+        """
+        stack_used = STACK_TOP - self._stack_hwm_low
+        return (
+            self.code.size
+            + self.rodata.size
+            + self.data.size
+            + self._heap_hwm
+            + stack_used
+        )
+
+    def writable_ranges(self) -> List[Tuple[int, int]]:
+        """(base, end) of every writable segment — the attacker's reach."""
+        return [
+            (segment.base, segment.end)
+            for segment in self._segments
+            if segment.writable
+        ]
+
+
+class _Unprotect:
+    def __init__(self, memory: Memory):
+        self._memory = memory
+
+    def __enter__(self) -> Memory:
+        self._memory._protect = False
+        return self._memory
+
+    def __exit__(self, *exc) -> None:
+        self._memory._protect = True

@@ -1,0 +1,186 @@
+"""Real-vulnerability analogue tests (paper §II-C and §V-C).
+
+librelp CVE-2018-1000140, Wireshark CVE-2014-2299, ProFTPD CVE-2006-5815
+and the paper's Listing 1 dispatcher — each exploit must work against the
+unprotected baseline (validating the exploit itself) and be stopped by
+Smokestack.  The librelp case additionally demonstrates the §II-C claim:
+the same DOP attack defeats static stack-layout randomization.
+"""
+
+import pytest
+
+from repro.attacks import (
+    EXPECTED_PRODUCT,
+    PRIVATE_KEY,
+    SSL_KEY,
+    CAPTURE_KEY,
+    LibrelpDopAttack,
+    Listing1DopAttack,
+    ProftpdDopAttack,
+    WiresharkDopAttack,
+    le64,
+    run_librelp_campaign,
+    run_listing1_campaign,
+    run_proftpd_campaign,
+    run_wireshark_campaign,
+)
+from repro.defenses import make_defense
+
+SEED = 2
+
+
+class TestLibrelp:
+    """The paper's own PoC (§II-C): snprintf offset DOP."""
+
+    @pytest.mark.parametrize(
+        "defense", ["none", "canary", "aslr", "padding", "static-permute"]
+    )
+    def test_bypasses_every_prior_defense(self, defense):
+        report = run_librelp_campaign(make_defense(defense), restarts=4, seed=SEED)
+        assert report.succeeded, (defense, report)
+        assert report.first_success == 0  # one connection burst suffices
+
+    def test_smokestack_stops_it(self):
+        report = run_librelp_campaign(
+            make_defense("smokestack"), restarts=6, seed=SEED
+        )
+        assert not report.succeeded, report
+
+    def test_exfiltrated_data_is_the_private_key(self):
+        scenario = LibrelpDopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        import random
+
+        result = scenario.run_once(build, random.Random(0), 0)
+        assert PRIVATE_KEY in bytes(result.output_data)
+
+    def test_benign_client_is_unaffected_under_smokestack(self):
+        scenario = LibrelpDopAttack()
+        build = make_defense("smokestack").build(scenario.source, instance_seed=SEED)
+        machine = build.make_machine(
+            inputs=[b"client.example.org", b"", b""], max_steps=2_000_000
+        )
+        result = machine.run()
+        assert result.finished_cleanly()
+
+
+class TestWireshark:
+    """CVE-2014-2299: mpeg frame overflow driving a column-update gadget."""
+
+    @pytest.mark.parametrize(
+        "defense", ["none", "aslr", "padding", "static-permute"]
+    )
+    def test_bypasses_prior_defenses(self, defense):
+        report = run_wireshark_campaign(
+            make_defense(defense), restarts=4, seed=SEED
+        )
+        assert report.succeeded, (defense, report)
+
+    def test_smokestack_stops_it(self):
+        report = run_wireshark_campaign(
+            make_defense("smokestack"), restarts=6, seed=SEED
+        )
+        assert not report.succeeded, report
+
+    def test_goal_is_the_capture_key(self):
+        scenario = WiresharkDopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        import random
+
+        result = scenario.run_once(build, random.Random(0), 0)
+        assert CAPTURE_KEY in bytes(result.output_data)
+
+    def test_benign_capture_parses_cleanly_under_smokestack(self):
+        scenario = WiresharkDopAttack()
+        build = make_defense("smokestack").build(scenario.source, instance_seed=SEED)
+        machine = build.make_machine(
+            inputs=[le64(16), b"\x01" * 16, le64(0)], max_steps=2_000_000
+        )
+        result = machine.run()
+        assert result.finished_cleanly()
+        assert CAPTURE_KEY not in bytes(result.output_data)
+
+
+class TestProftpd:
+    """CVE-2006-5815: sstrncpy DOP walking a 7-pointer chain to the key."""
+
+    @pytest.mark.parametrize("defense", ["none", "aslr", "padding"])
+    def test_bypasses_prior_defenses(self, defense):
+        report = run_proftpd_campaign(
+            make_defense(defense), restarts=4, seed=SEED
+        )
+        assert report.succeeded, (defense, report)
+
+    def test_smokestack_stops_it(self):
+        report = run_proftpd_campaign(
+            make_defense("smokestack"), restarts=6, seed=SEED
+        )
+        assert not report.succeeded, report
+
+    def test_terminator_canary_interferes_with_string_stacking(self):
+        # Documented nuance: glibc-style canaries contain a NUL byte, and
+        # strcpy-stacked writes transiently break it at every return, so
+        # the canary catches THIS vector (the DOP attacks that motivate
+        # the paper use vectors canaries cannot see).
+        report = run_proftpd_campaign(
+            make_defense("canary"), restarts=4, seed=SEED
+        )
+        assert not report.succeeded
+        assert report.count("detected") > 0
+
+    def test_exfiltrates_the_ssl_key(self):
+        scenario = ProftpdDopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        import random
+
+        result = scenario.run_once(build, random.Random(0), 0)
+        assert SSL_KEY in bytes(result.output_data)
+
+    def test_attack_uses_many_corruption_rounds(self):
+        # The paper reports 24 gadget-chain iterations; the analogue's
+        # stacked-write plan also needs dozens of rounds.
+        scenario = ProftpdDopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        machine = build.make_machine(inputs=[le64(16), b"probe"], max_steps=10)
+        machine.run()  # just to build the image; now extract a leak
+        import random
+
+        hook = scenario.make_input_hook(build, random.Random(0), 0)
+        machine2 = build.make_machine(input_hook=hook, max_steps=8_000_000)
+        result = machine2.run()
+        assert result.call_counts.get("sreplace", 0) >= 20
+
+
+class TestListing1:
+    """The paper's Listing 1: Turing-complete add/sub/load dispatcher."""
+
+    @pytest.mark.parametrize("defense", ["none", "canary", "aslr", "padding"])
+    def test_computes_6_times_7_on_prior_defenses(self, defense):
+        report = run_listing1_campaign(
+            make_defense(defense), restarts=4, seed=SEED
+        )
+        assert report.succeeded, (defense, report)
+
+    def test_smokestack_stops_it(self):
+        report = run_listing1_campaign(
+            make_defense("smokestack"), restarts=6, seed=SEED
+        )
+        assert not report.succeeded, report
+
+    def test_result_is_the_computed_product(self):
+        scenario = Listing1DopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        import random
+
+        result = scenario.run_once(build, random.Random(0), 0)
+        assert le64(EXPECTED_PRODUCT) in bytes(result.output_data)
+
+    def test_attack_is_pure_data(self):
+        # The victim completes normally: no crash, no hijacked control
+        # flow — the defining property of DOP.
+        scenario = Listing1DopAttack()
+        build = make_defense("none").build(scenario.source, instance_seed=SEED)
+        import random
+
+        result = scenario.run_once(build, random.Random(0), 0)
+        assert result.finished_cleanly()

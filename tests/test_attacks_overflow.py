@@ -1,0 +1,120 @@
+"""Payload construction utilities tests."""
+
+import pytest
+
+from repro.attacks.overflow import (
+    find_marker,
+    le64,
+    overflow_payload,
+    read_le64,
+    relative_payload,
+)
+from repro.attacks.proftpd import stacked_writes
+from repro.errors import AttackError
+
+
+class TestRelativePayload:
+    def test_places_value_at_gap(self):
+        payload = relative_payload(4, b"\xde\xad")
+        assert payload == b"AAAA\xde\xad"
+
+    def test_min_length_padding(self):
+        payload = relative_payload(0, b"x", min_length=5)
+        assert payload == b"xAAAA"
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(AttackError):
+            relative_payload(-1, b"x")
+
+
+class TestOverflowPayload:
+    LAYOUT = {"target": 16, "middle": 24, "buf": 40}
+
+    def test_single_write(self):
+        payload = overflow_payload(self.LAYOUT, "buf", {"target": b"\x01\x02"})
+        # target sits (40 - 16) = 24 bytes past the buffer base.
+        assert len(payload) == 26
+        assert payload[24:26] == b"\x01\x02"
+        assert payload[:24] == b"A" * 24
+
+    def test_multiple_writes(self):
+        payload = overflow_payload(
+            self.LAYOUT, "buf", {"target": le64(7), "middle": le64(9)}
+        )
+        assert read_le64(payload, 24) == 7
+        assert read_le64(payload, 16) == 9
+
+    def test_custom_filler(self):
+        payload = overflow_payload(
+            self.LAYOUT, "buf", {"middle": b"z"}, filler=b"\x00"
+        )
+        assert payload[:16] == b"\x00" * 16
+
+    def test_unreachable_target_rejected(self):
+        layout = {"below": 48, "buf": 40}
+        with pytest.raises(AttackError):
+            overflow_payload(layout, "buf", {"below": b"x"})
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(AttackError):
+            overflow_payload(self.LAYOUT, "nope", {"target": b"x"})
+        with pytest.raises(AttackError):
+            overflow_payload(self.LAYOUT, "buf", {"nope": b"x"})
+
+
+class TestEncodingHelpers:
+    def test_le64_roundtrip(self):
+        assert read_le64(le64(0xDEADBEEF)) == 0xDEADBEEF
+
+    def test_le64_negative_twos_complement(self):
+        assert le64(-1) == b"\xff" * 8
+        assert read_le64(le64(-1)) == 2**64 - 1
+
+    def test_find_marker(self):
+        data = b"\x00" * 10 + le64(77777) + b"\x00" * 10
+        assert find_marker(data, le64(77777)) == 10
+        assert find_marker(data, le64(123)) is None
+
+    def test_find_marker_with_start(self):
+        data = le64(5) + le64(5)
+        assert find_marker(data, le64(5), start=1) == 8
+
+
+class TestStackedWrites:
+    def simulate(self, writes, size):
+        """Apply string-copy semantics: each write puts content + NUL."""
+        memory = bytearray(b"\xee" * size)
+        for write in writes:
+            assert b"\x00" not in write  # must be valid C strings
+            memory[: len(write)] = write
+            memory[len(write)] = 0
+        return bytes(memory)
+
+    def test_composes_image_with_zeros(self):
+        image = b"\x01\x02\x00\x03\x00"
+        writes = stacked_writes(image)
+        assert self.simulate(writes, 16)[:5] == image
+
+    def test_single_trailing_zero(self):
+        image = b"abc\x00"
+        writes = stacked_writes(image)
+        assert len(writes) == 1
+        assert self.simulate(writes, 8)[:4] == image
+
+    def test_many_zeros(self):
+        image = bytes([1, 0, 0, 2, 0, 3, 0])
+        writes = stacked_writes(image)
+        assert self.simulate(writes, 16)[:7] == image
+        assert len(writes) == image.count(0)
+
+    def test_descending_lengths(self):
+        image = bytes([5, 0, 6, 0, 7, 0])
+        writes = stacked_writes(image)
+        lengths = [len(w) for w in writes]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_image_must_end_with_zero(self):
+        with pytest.raises(ValueError):
+            stacked_writes(b"\x01\x02")
+        with pytest.raises(ValueError):
+            stacked_writes(b"")

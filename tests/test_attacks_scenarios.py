@@ -1,0 +1,150 @@
+"""Synthetic attack matrix tests (paper §V-C / §II-C key results).
+
+These assert the reproduction's headline security claims with fixed
+seeds (every component involved is deterministic under fixed seeds):
+
+* the DOP scenarios bypass the unprotected baseline, canaries, ASLR and
+  Forrest-style padding;
+* the leak-guided scenarios additionally derandomize static compile-time
+  permutation (the §II-C result);
+* Smokestack stops every scenario.
+"""
+
+import pytest
+
+from repro.attacks import (
+    all_scenarios,
+    run_campaign,
+    run_matrix,
+    format_matrix,
+    StackDirectBruteForce,
+    StackDirectLeak,
+    StackIndirect,
+    DataIndirect,
+    HeapIndirect,
+    VlaDirect,
+)
+from repro.defenses import make_defense
+
+SEED = 1
+RESTARTS = 8
+
+
+def campaign(scenario, defense_name, restarts=RESTARTS, seed=SEED):
+    return run_campaign(
+        scenario, make_defense(defense_name), restarts=restarts, seed=seed
+    )
+
+
+class TestStackDirectLeak:
+    @pytest.mark.parametrize(
+        "defense", ["none", "canary", "aslr", "padding", "static-permute"]
+    )
+    def test_bypasses_prior_defenses(self, defense):
+        report = campaign(StackDirectLeak(), defense)
+        assert report.succeeded, report
+
+    def test_bypass_is_immediate(self):
+        report = campaign(StackDirectLeak(), "none")
+        assert report.first_success == 0
+
+    def test_smokestack_stops_it(self):
+        report = campaign(StackDirectLeak(), "smokestack")
+        assert not report.succeeded, report
+
+
+class TestStackDirectBruteForce:
+    @pytest.mark.parametrize("defense", ["none", "canary", "aslr", "padding"])
+    def test_bypasses_reference_layout_defenses(self, defense):
+        report = campaign(StackDirectBruteForce(), defense)
+        assert report.succeeded, report
+
+    def test_static_permutation_resists_blind_strike(self):
+        # Without a leak, a compile-time permutation defeats the one-shot
+        # synthetic replay (the sweep space is factorial).
+        report = campaign(StackDirectBruteForce(), "static-permute")
+        assert not report.succeeded
+
+    def test_smokestack_stops_it(self):
+        report = campaign(StackDirectBruteForce(), "smokestack")
+        assert not report.succeeded, report
+
+
+class TestIndirectScenarios:
+    @pytest.mark.parametrize(
+        "scenario_class", [StackIndirect, DataIndirect, HeapIndirect]
+    )
+    @pytest.mark.parametrize("defense", ["none", "canary", "aslr", "padding"])
+    def test_bypasses_prior_defenses(self, scenario_class, defense):
+        report = campaign(scenario_class(), defense, restarts=4)
+        assert report.succeeded, report
+
+    @pytest.mark.parametrize(
+        "scenario_class", [StackIndirect, DataIndirect, HeapIndirect]
+    )
+    def test_smokestack_stops_them(self, scenario_class):
+        report = campaign(scenario_class(), "smokestack", restarts=6)
+        assert not report.succeeded, report
+
+    def test_aslr_bypass_uses_the_pointer_leak(self):
+        # The indirect attack needs absolute addresses; it works against
+        # ASLR only because the program logs a stack pointer (paper §I on
+        # information leaks defeating ASLR).
+        report = campaign(StackIndirect(), "aslr", restarts=4)
+        assert report.succeeded
+
+
+class TestVlaDirect:
+    @pytest.mark.parametrize(
+        "defense", ["none", "canary", "aslr", "padding", "static-permute"]
+    )
+    def test_bypasses_prior_defenses(self, defense):
+        report = campaign(VlaDirect(), defense, restarts=4)
+        assert report.succeeded, report
+
+    def test_smokestack_random_vla_padding_stops_it(self):
+        report = campaign(VlaDirect(), "smokestack", restarts=6)
+        assert not report.succeeded, report
+
+
+class TestMatrixSummary:
+    def test_smokestack_column_is_all_stopped(self):
+        grid = run_matrix(
+            all_scenarios(),
+            [make_defense("smokestack")],
+            restarts=6,
+            seed=SEED,
+        )
+        for scenario_name, row in grid.items():
+            assert row["smokestack"].verdict() == "stopped", scenario_name
+
+    def test_every_scenario_bypasses_some_prior_defense(self):
+        grid = run_matrix(
+            all_scenarios(),
+            [make_defense("none"), make_defense("aslr")],
+            restarts=6,
+            seed=SEED,
+        )
+        for scenario_name, row in grid.items():
+            assert any(r.succeeded for r in row.values()), scenario_name
+
+    def test_format_matrix_renders(self):
+        grid = run_matrix(
+            [StackDirectLeak()], [make_defense("none")], restarts=2, seed=SEED
+        )
+        text = format_matrix(grid)
+        assert "stack-direct" in text and "bypassed" in text
+
+
+class TestReportSemantics:
+    def test_outcome_counts_sum_to_total(self):
+        report = campaign(StackDirectLeak(), "smokestack", restarts=5)
+        assert sum(report.breakdown().values()) == report.total
+
+    def test_stop_on_success_truncates(self):
+        report = campaign(StackDirectLeak(), "none", restarts=8)
+        assert report.total == 1  # success on the first attempt stops
+
+    def test_detection_rate(self):
+        report = campaign(StackDirectLeak(), "smokestack", restarts=6)
+        assert 0.0 <= report.detection_rate() <= 1.0

@@ -1,0 +1,52 @@
+"""Seed-stability checks for the headline security results.
+
+The benchmark verdicts must not hinge on one lucky seed: across several
+deployment seeds, the CVE exploits keep beating the unprotected baseline
+first-try and keep losing to Smokestack.
+"""
+
+import pytest
+
+from repro.attacks import (
+    run_librelp_campaign,
+    run_listing1_campaign,
+    run_wireshark_campaign,
+)
+from repro.defenses import make_defense
+
+SEEDS = (0, 1, 2, 3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_librelp_beats_baseline_every_seed(seed):
+    report = run_librelp_campaign(make_defense("none"), restarts=2, seed=seed)
+    assert report.succeeded
+    assert report.first_success == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_librelp_loses_to_smokestack_every_seed(seed):
+    report = run_librelp_campaign(
+        make_defense("smokestack"), restarts=4, seed=seed
+    )
+    assert not report.succeeded
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wireshark_stability(seed):
+    baseline = run_wireshark_campaign(make_defense("none"), restarts=2, seed=seed)
+    assert baseline.succeeded
+    hardened = run_wireshark_campaign(
+        make_defense("smokestack"), restarts=4, seed=seed
+    )
+    assert not hardened.succeeded
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_listing1_stability(seed):
+    baseline = run_listing1_campaign(make_defense("none"), restarts=2, seed=seed)
+    assert baseline.succeeded
+    hardened = run_listing1_campaign(
+        make_defense("smokestack"), restarts=4, seed=seed
+    )
+    assert not hardened.succeeded

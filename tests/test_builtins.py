@@ -1,0 +1,173 @@
+"""Runtime builtin tests, including the CVE-shaped unsafe semantics."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.vm import Machine
+
+
+def run(source, inputs=None, **kwargs):
+    return Machine(compile_source(source), inputs=list(inputs or []), **kwargs).run()
+
+
+def run_main(body, inputs=None, **kwargs):
+    return run("int main() { %s }" % body, inputs, **kwargs)
+
+
+class TestStringBuiltins:
+    def test_strlen(self):
+        assert run_main('char s[8] = "abc"; return (int)strlen_(s);').exit_code == 3
+
+    def test_strcpy_copies_and_terminates(self):
+        result = run_main(
+            'char src[8] = "hi"; char dst[8];'
+            "strcpy_(dst, src); print_str(dst); return 0;"
+        )
+        assert result.str_outputs == [b"hi"]
+
+    def test_strncpy_pads_with_nuls(self):
+        result = run_main(
+            'char src[4] = "ab"; char dst[8];'
+            "memset_(dst, 65, 8);"
+            "strncpy_(dst, src, 5);"
+            "return dst[4] == 0 && dst[5] == 65 && dst[0] == 97;"
+        )
+        assert result.exit_code == 1
+
+    def test_strcmp(self):
+        assert run_main(
+            'char a[4] = "ab"; char b[4] = "ab"; return strcmp_(a, b);'
+        ).exit_code == 0
+        assert run_main(
+            'char a[4] = "aa"; char b[4] = "ab"; return strcmp_(a, b);'
+        ).exit_code == -1
+
+    def test_memset_and_memcpy(self):
+        assert run_main(
+            "char a[8]; char b[8];"
+            "memset_(a, 7, 8); memcpy_(b, a, 8);"
+            "return b[0] + b[7];"
+        ).exit_code == 14
+
+    def test_memcpy_negative_length_faults(self):
+        result = run_main("char a[8]; char b[8]; memcpy_(a, b, -1); return 0;")
+        assert result.outcome == "fault"
+
+
+class TestSnprintfCve:
+    """snprintf_sim mirrors C semantics incl. the CVE-2018-1000140 lever."""
+
+    def test_bounded_write_and_full_return(self):
+        result = run_main(
+            'char src[16] = "abcdefgh"; char dst[16];'
+            "memset_(dst, 90, 16);"
+            "int would = snprintf_sim(dst, 4, src);"
+            "print_int(would);"
+            "print_int(dst[3]);"   # the NUL
+            "print_int(dst[4]);"   # untouched
+            "return 0;"
+        )
+        assert result.int_outputs == [8, 0, 90]
+
+    def test_zero_size_writes_nothing(self):
+        result = run_main(
+            'char src[8] = "xyz"; char dst[8];'
+            "memset_(dst, 66, 8);"
+            "int would = snprintf_sim(dst, 0, src);"
+            "return would * 100 + dst[0];"
+        )
+        assert result.exit_code == 3 * 100 + 66
+
+    def test_negative_size_is_unbounded_write(self):
+        # C computes `sizeof(buf) - offset` in size_t: past the buffer it
+        # wraps huge — the librelp overflow.
+        result = run_main(
+            'char src[8] = "abc"; char dst[16];'
+            "memset_(dst, 70, 16);"
+            "snprintf_sim(dst, -5, src);"
+            "return dst[0] * 10000 + dst[3] * 100 + dst[4];"
+        )
+        assert result.exit_code == 97 * 10000 + 0 * 100 + 70
+
+
+class TestSstrncpyCve:
+    """sstrncpy_ mirrors ProFTPD's CVE-2006-5815 negative-length bug."""
+
+    def test_positive_length_bounded(self):
+        result = run_main(
+            'char src[8] = "abcdef"; char dst[8];'
+            "memset_(dst, 80, 8);"
+            "sstrncpy_(dst, src, 3);"
+            "return dst[0] * 10000 + dst[2] * 100 + dst[3];"
+        )
+        # Copies 2 chars + NUL; dst[3] untouched.
+        assert result.exit_code == 97 * 10000 + 0 * 100 + 80
+
+    def test_negative_length_unbounded(self):
+        result = run_main(
+            'char src[8] = "abcdef"; char dst[16];'
+            "sstrncpy_(dst, src, -1);"
+            "return (int)strlen_(dst);"
+        )
+        assert result.exit_code == 6
+
+
+class TestInputBuiltins:
+    def test_one_chunk_per_read(self):
+        result = run_main(
+            "char b[8]; int a = input_read(b, 8); int c = input_read(b, 8);"
+            "return a * 10 + c;",
+            inputs=[b"xx", b"yyy"],
+        )
+        assert result.exit_code == 23
+
+    def test_unbounded_read_ignores_buffer_size(self):
+        result = run_main(
+            "char small[4]; char after[16];"
+            "int n = input_read_unbounded(after);"
+            "return n;",
+            inputs=[b"q" * 12],
+        )
+        assert result.exit_code == 12
+
+    def test_input_size(self):
+        result = run_main(
+            "return (int)input_size();", inputs=[b"ab", b"cde"]
+        )
+        assert result.exit_code == 5
+
+    def test_input_hook_called_on_empty_queue(self):
+        calls = []
+
+        def hook(machine):
+            calls.append(1)
+            return b"hk" if len(calls) == 1 else None
+
+        result = run_main(
+            "char b[8]; int a = input_read(b, 8); int c = input_read(b, 8);"
+            "return a * 10 + c;",
+            inputs=[],
+            input_hook=hook,
+        )
+        assert result.exit_code == 20
+        assert len(calls) == 2
+
+
+class TestOutputBuiltins:
+    def test_output_bytes_accumulates(self):
+        result = run_main(
+            'char s[4] = "ab";'
+            "output_bytes(s, 2); output_bytes(s, 1);"
+            "return 0;"
+        )
+        assert bytes(result.output_data) == b"aba"
+
+    def test_guest_rand_is_deterministic(self):
+        a = run_main("guest_srand(9); print_int(guest_rand()); return 0;")
+        b = run_main("guest_srand(9); print_int(guest_rand()); return 0;")
+        assert a.int_outputs == b.int_outputs
+
+    def test_guest_rand_seed_changes_stream(self):
+        a = run_main("guest_srand(1); print_int(guest_rand()); return 0;")
+        b = run_main("guest_srand(2); print_int(guest_rand()); return 0;")
+        assert a.int_outputs != b.int_outputs

@@ -1,0 +1,156 @@
+"""CLI tests (driving repro.cli.main directly)."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+int main() {
+    char msg[8] = "cli";
+    print_str(msg);
+    return 7;
+}
+"""
+
+VULNERABLE = """
+long g_x;
+int main() {
+    long *p = &g_x;
+    long v = 0;
+    char buf[16];
+    long bound = 4;
+    long i = 0;
+    while (i < bound) {
+        input_read(buf, 16);
+        *p = v;
+        i++;
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+@pytest.fixture
+def vulnerable_file(tmp_path):
+    path = tmp_path / "vuln.c"
+    path.write_text(VULNERABLE)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_prints_result(self, hello_file, capsys):
+        status = main(["run", hello_file])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "exit    : 7" in out
+        assert "b'cli'" in out
+
+    def test_run_with_opt(self, hello_file, capsys):
+        assert main(["run", hello_file, "--opt", "2"]) == 0
+        assert "exit    : 7" in capsys.readouterr().out
+
+    def test_run_with_inputs(self, tmp_path, capsys):
+        path = tmp_path / "echo.c"
+        path.write_text(
+            "int main() { char b[8]; int n = input_read(b, 8); return n; }"
+        )
+        assert main(["run", str(path), "--input", "abc"]) == 0
+        assert "exit    : 3" in capsys.readouterr().out
+
+
+class TestHardenCommand:
+    def test_harden_runs_and_reports_pbox(self, hello_file, capsys):
+        status = main(["harden", hello_file])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "P-BOX" in out
+        assert "exit    : 7" in out
+
+    def test_harden_multiple_runs(self, hello_file, capsys):
+        assert main(["harden", hello_file, "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("exit    : 7") == 3
+
+    @pytest.mark.parametrize("scheme", ["pseudo", "aes-1", "rdrand"])
+    def test_harden_schemes(self, hello_file, scheme, capsys):
+        assert main(["harden", hello_file, "--scheme", scheme]) == 0
+
+
+class TestIrCommand:
+    def test_dump_baseline_ir(self, hello_file, capsys):
+        assert main(["ir", hello_file]) == 0
+        out = capsys.readouterr().out
+        assert "define int @main" in out
+        assert "alloca" in out
+
+    def test_dump_hardened_ir(self, hello_file, capsys):
+        assert main(["ir", hello_file, "--harden"]) == 0
+        out = capsys.readouterr().out
+        assert "__ss_rand" in out
+        assert "__ss_pbox_" in out
+
+    def test_dump_optimized_ir_has_phis(self, tmp_path, capsys):
+        path = tmp_path / "loop.c"
+        path.write_text(
+            "int main() { int t = 0;"
+            " for (int i = 0; i < 5; i++) t += i; return t; }"
+        )
+        assert main(["ir", str(path), "--opt", "2"]) == 0
+        assert "phi" in capsys.readouterr().out
+
+
+class TestAnalysisCommands:
+    def test_gadget_census(self, vulnerable_file, capsys):
+        assert main(["gadgets", vulnerable_file]) == 0
+        out = capsys.readouterr().out
+        assert "gadget census" in out
+        assert "dispatchers" in out
+        assert "USABLE" in out
+
+    def test_entropy_report(self, vulnerable_file, capsys):
+        assert main(["entropy", vulnerable_file]) == 0
+        out = capsys.readouterr().out
+        assert "weakest link" in out
+
+
+class TestAttackCommand:
+    def test_attack_stopped_by_smokestack(self, capsys):
+        status = main(
+            ["attack", "listing1", "--defense", "smokestack", "--restarts", "2"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "verdict  : stopped" in out
+
+    def test_attack_bypasses_none(self, capsys):
+        status = main(
+            ["attack", "listing1", "--defense", "none", "--restarts", "2"]
+        )
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "verdict  : bypassed" in out
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "nonexistent"])
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bench_accepts_workload_filter(self, capsys):
+        status = main(
+            ["bench", "--workloads", "xalancbmk", "--schemes", "pseudo"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "xalancbmk" in out

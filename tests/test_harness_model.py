@@ -1,0 +1,124 @@
+"""Attack harness and report-model unit tests."""
+
+import pytest
+
+from repro.attacks.model import AttackAttempt, AttackReport, classify_result
+from repro.attacks.harness import AttackScenario, run_campaign, run_matrix
+from repro.defenses import NoDefense
+from repro.vm.interpreter import ExecutionResult
+
+
+def result_with(outcome, **attrs):
+    result = ExecutionResult()
+    result.outcome = outcome
+    for key, value in attrs.items():
+        setattr(result, key, value)
+    return result
+
+
+class TestClassifyResult:
+    def test_goal_met_wins(self):
+        assert classify_result(result_with("exit"), goal_met=True) == "success"
+        # Even a crashed run counts as success if the goal was reached
+        # (exfiltration before the crash).
+        assert classify_result(result_with("fault"), goal_met=True) == "success"
+
+    def test_security_violation(self):
+        assert (
+            classify_result(result_with("security-violation"), False)
+            == "detected"
+        )
+
+    def test_faults_and_traps_are_crashes(self):
+        assert classify_result(result_with("fault"), False) == "crashed"
+        assert classify_result(result_with("trap"), False) == "crashed"
+
+    def test_limit(self):
+        assert classify_result(result_with("limit"), False) == "limit"
+
+    def test_clean_exit_without_goal_is_failed(self):
+        assert classify_result(result_with("exit"), False) == "failed"
+
+
+class TestAttackReport:
+    def test_counts_and_rates(self):
+        report = AttackReport("s", "d")
+        for outcome in ("failed", "failed", "detected", "success"):
+            report.record(outcome)
+        assert report.total == 4
+        assert report.count("failed") == 2
+        assert report.success_rate() == 0.25
+        assert report.detection_rate() == 0.25
+        assert report.succeeded
+        assert report.first_success == 3
+        assert report.verdict() == "bypassed"
+
+    def test_stopped_verdict(self):
+        report = AttackReport("s", "d")
+        report.record("crashed")
+        assert report.verdict() == "stopped"
+        assert report.first_success is None
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            AttackAttempt(0, "partial")
+
+    def test_empty_report(self):
+        report = AttackReport("s", "d")
+        assert report.success_rate() == 0.0
+        assert not report.succeeded
+
+
+class _ToyScenario(AttackScenario):
+    """Succeeds on the attempt index given at construction."""
+
+    name = "toy"
+    victim_function = "main"
+    source = """
+int main() {
+    char b[8];
+    int n = input_read(b, 8);
+    if (n == 3) {
+        output_bytes(b, 3);
+    }
+    return n;
+}
+"""
+
+    def __init__(self, succeed_on=1):
+        self.succeed_on = succeed_on
+
+    def make_input_hook(self, build, rng, attempt):
+        def hook(machine):
+            return b"WIN" if attempt == self.succeed_on else b"x"
+
+        return hook
+
+    def goal_met(self, result):
+        return b"WIN" in bytes(result.output_data)
+
+
+class TestRunCampaign:
+    def test_stops_on_success(self):
+        report = run_campaign(_ToyScenario(succeed_on=2), NoDefense(), restarts=8)
+        assert report.total == 3
+        assert report.first_success == 2
+
+    def test_exhausts_budget_without_success(self):
+        report = run_campaign(_ToyScenario(succeed_on=99), NoDefense(), restarts=4)
+        assert report.total == 4
+        assert not report.succeeded
+
+    def test_no_early_stop_option(self):
+        report = run_campaign(
+            _ToyScenario(succeed_on=0),
+            NoDefense(),
+            restarts=3,
+            stop_on_success=False,
+        )
+        assert report.total == 3
+
+    def test_matrix_shape(self):
+        grid = run_matrix([_ToyScenario(0)], [NoDefense()], restarts=2)
+        assert set(grid) == {"toy"}
+        assert set(grid["toy"]) == {"none"}

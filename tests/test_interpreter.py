@@ -1,0 +1,390 @@
+"""End-to-end interpreter tests: Mini-C programs with expected behaviour."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.vm import Machine
+
+
+def run(source, inputs=None, **kwargs):
+    machine = Machine(compile_source(source), inputs=list(inputs or []), **kwargs)
+    return machine.run()
+
+
+def run_main(body, inputs=None, **kwargs):
+    return run("int main() { %s }" % body, inputs, **kwargs)
+
+
+class TestArithmetic:
+    def test_exit_code(self):
+        assert run_main("return 41 + 1;").exit_code == 42
+
+    def test_integer_wrapping(self):
+        result = run_main("int a = 2147483647; a = a + 1; return a < 0;")
+        assert result.exit_code == 1
+
+    def test_char_wrapping(self):
+        result = run_main("char c = 127; c = (char)(c + 1); return c == -128;")
+        assert result.exit_code == 1
+
+    def test_unsigned_comparison(self):
+        result = run_main(
+            "unsigned int a = 0; a = a - 1; return a > 1000;"
+        )
+        assert result.exit_code == 1
+
+    def test_signed_division_truncates_toward_zero(self):
+        assert run_main("return -7 / 2;").exit_code == -3
+        assert run_main("return -7 % 2;").exit_code == -1
+
+    def test_division_by_zero_traps(self):
+        result = run_main("int z = 0; return 1 / z;")
+        assert result.outcome == "trap"
+
+    def test_shifts(self):
+        assert run_main("return 1 << 5;").exit_code == 32
+        assert run_main("return -8 >> 1;").exit_code == -4
+        assert run_main("unsigned int u = 0x80000000; return (int)(u >> 28);").exit_code == 8
+
+    def test_bitwise(self):
+        assert run_main("return (12 & 10) | (1 ^ 3);").exit_code == (12 & 10) | (1 ^ 3)
+
+    def test_float_arithmetic(self):
+        result = run_main(
+            "double d = (double)7 / (double)2; return (int)(d * (double)100);"
+        )
+        assert result.exit_code == 350
+
+    def test_float_comparison(self):
+        assert run_main(
+            "double a = (double)1 / (double)3;"
+            "double b = (double)2 / (double)3;"
+            "return a < b;"
+        ).exit_code == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_main("int x = 3; if (x > 2) return 1; else return 2;").exit_code == 1
+
+    def test_while_loop(self):
+        assert run_main(
+            "int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s;"
+        ).exit_code == 10
+
+    def test_do_while_runs_once(self):
+        assert run_main("int i = 9; do { i++; } while (0); return i;").exit_code == 10
+
+    def test_for_loop_with_break_continue(self):
+        assert run_main(
+            "int s = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  if (i == 7) break;"
+            "  if (i % 2 == 0) continue;"
+            "  s += i;"
+            "}"
+            "return s;"
+        ).exit_code == 1 + 3 + 5
+
+    def test_short_circuit_and(self):
+        # The right side would fault; short circuit must prevent it.
+        assert run_main(
+            "int *p = 0; int x = 0;"
+            "if (x != 0 && *p == 1) return 9;"
+            "return 3;"
+        ).exit_code == 3
+
+    def test_short_circuit_or(self):
+        assert run_main(
+            "int *p = 0; int x = 1;"
+            "if (x == 1 || *p == 1) return 5;"
+            "return 0;"
+        ).exit_code == 5
+
+    def test_ternary(self):
+        assert run_main("int x = 2; return x > 1 ? 10 : 20;").exit_code == 10
+
+    def test_nested_loops(self):
+        assert run_main(
+            "int total = 0;"
+            "for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 4; j++)"
+            "    total += i * j;"
+            "return total;"
+        ).exit_code == sum(i * j for i in range(3) for j in range(4))
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert run(
+            "int add(int a, int b) { return a + b; }"
+            "int main() { return add(40, 2); }"
+        ).exit_code == 42
+
+    def test_recursion(self):
+        assert run(
+            "long fact(long n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+            "int main() { return (int)fact(6); }"
+        ).exit_code == 720
+
+    def test_mutual_recursion(self):
+        assert run(
+            "int is_odd(int n);"
+            "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }"
+            "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }"
+            "int main() { return is_even(10); }"
+        ).exit_code == 1
+
+    def test_void_function(self):
+        result = run(
+            "int g;"
+            "void bump() { g = g + 7; }"
+            "int main() { bump(); bump(); return g; }"
+        )
+        assert result.exit_code == 14
+
+    def test_implicit_return_value_is_zero(self):
+        assert run("int f() { } int main() { return f() + 5; }").exit_code == 5
+
+    def test_deep_recursion_hits_depth_limit(self):
+        result = run(
+            "int down(int n) { return down(n + 1); }"
+            "int main() { return down(0); }"
+        )
+        assert result.outcome in ("limit", "fault")
+
+
+class TestPointersAndArrays:
+    def test_pointer_write_and_read(self):
+        assert run_main("int x = 1; int *p = &x; *p = 9; return x;").exit_code == 9
+
+    def test_array_indexing(self):
+        assert run_main(
+            "int a[4]; for (int i = 0; i < 4; i++) a[i] = i * i;"
+            "return a[3];"
+        ).exit_code == 9
+
+    def test_pointer_arithmetic(self):
+        assert run_main(
+            "int a[4]; a[2] = 7; int *p = a; p = p + 2; return *p;"
+        ).exit_code == 7
+
+    def test_pointer_difference(self):
+        assert run_main(
+            "long a[8]; long *p = a + 6; long *q = a + 1;"
+            "return (int)(p - q);"
+        ).exit_code == 5
+
+    def test_multidim_array(self):
+        assert run_main(
+            "int g[3][4];"
+            "for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 4; j++) g[i][j] = i * 10 + j;"
+            "return g[2][3];"
+        ).exit_code == 23
+
+    def test_increment_through_pointer(self):
+        assert run_main(
+            "char s[4]; s[0] = 5; char *p = s; (*p)++; return s[0];"
+        ).exit_code == 6
+
+    def test_pointer_increment(self):
+        assert run_main(
+            "int a[3]; a[1] = 8; int *p = a; p++; return *p;"
+        ).exit_code == 8
+
+    def test_null_dereference_faults(self):
+        result = run_main("int *p = 0; return *p;")
+        assert result.outcome == "fault"
+        assert result.fault_kind == "null-deref"
+
+    def test_wild_pointer_faults(self):
+        result = run_main("long *p = (long*)99999999; return (int)*p;")
+        assert result.outcome == "fault"
+
+
+class TestStructs:
+    SOURCE = """
+struct point { int x; int y; };
+struct line { struct point a; struct point b; };
+"""
+
+    def test_field_access(self):
+        assert run(
+            self.SOURCE
+            + "int main() { struct point p; p.x = 3; p.y = 4; return p.x * p.y; }"
+        ).exit_code == 12
+
+    def test_nested_struct(self):
+        assert run(
+            self.SOURCE
+            + "int main() { struct line l; l.b.y = 11; return l.b.y; }"
+        ).exit_code == 11
+
+    def test_struct_pointer_arrow(self):
+        assert run(
+            self.SOURCE
+            + "void set(struct point *p) { p->x = 21; }"
+            + "int main() { struct point p; set(&p); return p.x * 2; }"
+        ).exit_code == 42
+
+    def test_struct_copy_assignment(self):
+        assert run(
+            self.SOURCE
+            + "int main() { struct point a; a.x = 5; a.y = 6;"
+            + "struct point b; b = a; a.x = 0; return b.x + b.y; }"
+        ).exit_code == 11
+
+
+class TestVLA:
+    def test_vla_basic(self):
+        assert run_main(
+            "int n = 5; char v[n];"
+            "for (int i = 0; i < n; i++) v[i] = (char)(i + 1);"
+            "int s = 0; for (int i = 0; i < n; i++) s += v[i];"
+            "return s;"
+        ).exit_code == 15
+
+    def test_vla_in_function(self):
+        assert run(
+            "int fill(int n) {"
+            "  long v[n];"
+            "  for (int i = 0; i < n; i++) v[i] = i;"
+            "  long s = 0; for (int i = 0; i < n; i++) s += v[i];"
+            "  return (int)s;"
+            "}"
+            "int main() { return fill(4) + fill(8); }"
+        ).exit_code == 6 + 28
+
+    def test_negative_vla_faults(self):
+        result = run_main("int n = -3; char v[n]; return 0;")
+        assert result.outcome == "fault"
+
+
+class TestStringsAndGlobals:
+    def test_string_literal_global(self):
+        result = run('int main() { print_str("hello"); return 0; }')
+        assert result.str_outputs == [b"hello"]
+
+    def test_local_char_array_initializer(self):
+        result = run_main('char msg[8] = "hey"; print_str(msg); return 0;')
+        assert result.str_outputs == [b"hey"]
+
+    def test_writing_string_literal_faults(self):
+        result = run_main('char *p = "ro"; p[0] = 88; return 0;')
+        assert result.outcome == "fault"
+        assert result.fault_kind == "write-to-readonly"
+
+    def test_global_initializers(self):
+        assert run(
+            "long g = -5; unsigned char b = 200;"
+            "int main() { return (int)(g + b); }"
+        ).exit_code == 195
+
+    def test_global_zero_initialized(self):
+        assert run("int table[10]; int main() { return table[7]; }").exit_code == 0
+
+
+class TestStackSemantics:
+    def test_uninitialized_local_reads_stale_stack(self):
+        # Not UB-hunting: documents that the VM models a real stack where
+        # old frames' data persists (important for realistic disclosure).
+        source = (
+            "void leave(int v) { int x = v; x = x + 0; }"
+            "int peek() { int x; return x; }"
+            "int main() { leave(77); return peek(); }"
+        )
+        result = run(source)
+        assert result.finished_cleanly()
+
+    def test_stack_depth_reuses_memory(self):
+        result = run(
+            "int f(int n) { char buf[64]; buf[0] = (char)n;"
+            "  if (n == 0) return buf[0]; return f(n - 1); }"
+            "int main() { return f(50); }"
+        )
+        assert result.exit_code == 0
+
+    def test_frame_layout_matches_declared_order(self):
+        source = (
+            "int main() { long first = 1; char buf[16]; long last = 2;"
+            "return (int)(first + last); }"
+        )
+        machine = Machine(compile_source(source))
+        layout = machine.baseline_frame_layout("main")
+        # First-declared sits closest to the frame top (smallest offset).
+        assert layout["first"] < layout["buf"] < layout["last"]
+
+    def test_overflow_corrupts_earlier_declared_local(self):
+        source = (
+            "int main() { long target = 0; char buf[8];"
+            "input_read_unbounded(buf);"
+            "return (int)target; }"
+        )
+        payload = b"A" * 8 + (123).to_bytes(8, "little")
+        assert run(source, [payload]).exit_code == 123
+
+    def test_overflow_past_cookie_crashes(self):
+        source = (
+            "void victim() { char buf[8]; input_read_unbounded(buf); }"
+            "int main() { victim(); return 0; }"
+        )
+        result = run(source, [b"B" * 64])
+        assert result.outcome == "fault"
+        assert result.fault_kind in ("corrupted-return-address", "unmapped")
+
+
+class TestIO:
+    def test_print_int_outputs(self):
+        result = run_main("print_int(1); print_int(-2); return 0;")
+        assert result.int_outputs == [1, -2]
+
+    def test_input_read_bounded(self):
+        result = run_main(
+            "char b[4]; int n = input_read(b, 4); return n;",
+            inputs=[b"abcdefgh"],
+        )
+        assert result.exit_code == 4
+
+    def test_input_eof_returns_zero(self):
+        assert run_main("char b[4]; return input_read(b, 4);").exit_code == 0
+
+    def test_exit_builtin(self):
+        result = run_main("exit_(17); return 0;")
+        assert result.exit_code == 17
+
+    def test_abort_builtin(self):
+        assert run_main("abort_(); return 0;").outcome == "trap"
+
+    def test_io_wait_charges_cycles(self):
+        fast = run_main("return 0;")
+        slow = run_main("io_wait(100000); return 0;")
+        assert slow.cycles - fast.cycles >= 100000
+
+    def test_step_limit(self):
+        result = run_main("while (1) { } return 0;", max_steps=5000)
+        assert result.outcome == "limit"
+
+
+class TestHeap:
+    def test_malloc_and_use(self):
+        assert run_main(
+            "long *p = (long*)malloc(64);"
+            "p[0] = 40; p[7] = 2;"
+            "return (int)(p[0] + p[7]);"
+        ).exit_code == 42
+
+    def test_malloc_blocks_are_disjoint(self):
+        assert run_main(
+            "char *a = (char*)malloc(16); char *b = (char*)malloc(16);"
+            "a[0] = 1; b[0] = 2;"
+            "return a[0] + b[0] * 10 + (a == b ? 100 : 0);"
+        ).exit_code == 21
+
+    def test_heap_overflow_reaches_next_chunk(self):
+        # Bump allocation => adjacency, needed by the heap attack scenarios.
+        assert run_main(
+            "char *a = (char*)malloc(16); char *b = (char*)malloc(16);"
+            "for (int i = 0; i < 20; i++) a[i] = 9;"
+            "return b[3];"
+        ).exit_code == 9

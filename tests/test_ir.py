@@ -1,0 +1,303 @@
+"""IR construction, builder, verifier and printer tests."""
+
+import pytest
+
+from repro.errors import IRError, VerifierError
+from repro.ir import (
+    Alloca,
+    Constant,
+    Function,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    const_int,
+    null_ptr,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir.instructions import BinOp, Call, Load, Ret, Store
+from repro.minic import types as ct
+
+
+def make_function(name="f", return_type=ct.INT, params=()):
+    return Function(
+        name, return_type, [p[0] for p in params], [p[1] for p in params]
+    )
+
+
+def simple_module():
+    module = Module("m")
+    fn = make_function()
+    module.add_function(fn)
+    builder = IRBuilder(fn, fn.new_block("entry"))
+    return module, fn, builder
+
+
+class TestValues:
+    def test_int_constant(self):
+        c = Constant(ct.INT, 5)
+        assert c.value == 5 and c.ctype == ct.INT
+
+    def test_float_constant_coerces(self):
+        c = Constant(ct.DOUBLE, 2)
+        assert isinstance(c.value, float)
+
+    def test_integer_constant_rejects_float(self):
+        with pytest.raises(IRError):
+            Constant(ct.INT, 1.5)
+
+    def test_null_pointer(self):
+        p = null_ptr(ct.INT)
+        assert p.ctype.is_pointer() and p.value == 0
+
+    def test_const_int_default_long(self):
+        assert const_int(7).ctype == ct.LONG
+
+    def test_global_variable_is_pointer_valued(self):
+        g = GlobalVariable("g", ct.INT)
+        assert g.ctype == ct.PointerType(ct.INT)
+        assert g.byte_image() == b"\x00" * 4
+
+    def test_global_initializer_padding(self):
+        g = GlobalVariable("g", ct.ArrayType(ct.CHAR, 8), b"hi")
+        assert g.byte_image() == b"hi" + b"\x00" * 6
+
+    def test_global_oversized_initializer_rejected(self):
+        with pytest.raises(IRError):
+            GlobalVariable("g", ct.INT, b"\x00" * 8)
+
+
+class TestBuilder:
+    def test_alloca_returns_pointer(self):
+        _, _, b = simple_module()
+        slot = b.alloca(ct.INT, var_name="x")
+        assert slot.ctype == ct.PointerType(ct.INT)
+        assert slot.var_name == "x"
+        assert slot.align == 4
+
+    def test_store_type_mismatch_rejected(self):
+        _, _, b = simple_module()
+        slot = b.alloca(ct.INT)
+        with pytest.raises(IRError):
+            b.store(Constant(ct.LONG, 1), slot)
+
+    def test_load_infers_type(self):
+        _, _, b = simple_module()
+        slot = b.alloca(ct.LONG)
+        value = b.load(slot)
+        assert value.ctype == ct.LONG
+
+    def test_elem_ptr_through_array(self):
+        _, _, b = simple_module()
+        arr = b.alloca(ct.ArrayType(ct.INT, 4))
+        p = b.elem_ptr(arr, const_int(2))
+        assert p.ctype == ct.PointerType(ct.INT)
+
+    def test_field_ptr(self):
+        s = ct.StructType("s")
+        s.set_fields([("a", ct.CHAR), ("b", ct.LONG)])
+        _, _, b = simple_module()
+        slot = b.alloca(s)
+        fp = b.field_ptr(slot, 1)
+        assert fp.ctype == ct.PointerType(ct.LONG)
+        assert fp.byte_offset == 8
+
+    def test_binop_requires_matching_types(self):
+        _, _, b = simple_module()
+        with pytest.raises(IRError):
+            b.binop("add", Constant(ct.INT, 1), Constant(ct.LONG, 2))
+
+    def test_convert_int_widening_signed(self):
+        _, _, b = simple_module()
+        v = b.convert(Constant(ct.INT, -1), ct.LONG)
+        assert v.kind == "sext"
+
+    def test_convert_int_widening_unsigned(self):
+        _, _, b = simple_module()
+        v = b.convert(Constant(ct.UINT, 1), ct.LONG)
+        assert v.kind == "zext"
+
+    def test_convert_narrowing(self):
+        _, _, b = simple_module()
+        v = b.convert(Constant(ct.LONG, 300), ct.CHAR)
+        assert v.kind == "trunc"
+
+    def test_convert_noop(self):
+        _, _, b = simple_module()
+        c = Constant(ct.INT, 1)
+        assert b.convert(c, ct.INT) is c
+
+    def test_convert_int_float(self):
+        _, _, b = simple_module()
+        assert b.convert(Constant(ct.INT, 1), ct.DOUBLE).kind == "sitofp"
+        assert b.convert(Constant(ct.DOUBLE, 1.0), ct.INT).kind == "fptosi"
+
+    def test_convert_pointer_int(self):
+        _, _, b = simple_module()
+        p = b.alloca(ct.INT)
+        assert b.convert(p, ct.LONG).kind == "ptrtoint"
+        assert b.convert(Constant(ct.LONG, 0), ct.PointerType(ct.INT)).kind == "inttoptr"
+
+    def test_icmp_from_c_signedness(self):
+        _, _, b = simple_module()
+        signed = b.icmp_from_c("<", Constant(ct.INT, 1), Constant(ct.INT, 2))
+        assert signed.op == "slt"
+        unsigned = b.icmp_from_c("<", Constant(ct.UINT, 1), Constant(ct.UINT, 2))
+        assert unsigned.op == "ult"
+
+    def test_ret_type_checked(self):
+        _, fn, b = simple_module()
+        with pytest.raises(IRError):
+            b.ret(Constant(ct.LONG, 0))
+
+    def test_append_after_terminator_rejected(self):
+        _, _, b = simple_module()
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(IRError):
+            b.ret(Constant(ct.INT, 0))
+
+    def test_unique_block_labels(self):
+        fn = make_function()
+        a = fn.new_block("loop")
+        b2 = fn.new_block("loop")
+        assert a.label != b2.label
+
+
+class TestFunctionQueries:
+    def test_allocas_in_program_order(self):
+        _, fn, b = simple_module()
+        b.alloca(ct.INT, var_name="a")
+        b.alloca(ct.CHAR, var_name="b")
+        b.ret(Constant(ct.INT, 0))
+        assert [a.var_name for a in fn.allocas()] == ["a", "b"]
+
+    def test_static_vs_dynamic_allocas(self):
+        _, fn, b = simple_module()
+        b.alloca(ct.INT)
+        b.alloca(ct.CHAR, count=const_int(10))
+        b.ret(Constant(ct.INT, 0))
+        assert len(fn.static_allocas()) == 1
+        assert len(fn.dynamic_allocas()) == 1
+
+    def test_dynamic_alloca_has_no_static_size(self):
+        a = Alloca(ct.CHAR, count=const_int(4))
+        with pytest.raises(IRError):
+            a.static_size()
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        module, fn, b = simple_module()
+        b.ret(Constant(ct.INT, 0))
+        verify_module(module)
+
+    def test_missing_terminator_rejected(self):
+        module, fn, b = simple_module()
+        b.alloca(ct.INT)
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_empty_block_rejected(self):
+        module, fn, b = simple_module()
+        b.ret(Constant(ct.INT, 0))
+        fn.new_block("orphan")
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_return_type_mismatch_rejected(self):
+        module, fn, _ = simple_module()
+        block = fn.entry
+        block.append(Ret(Constant(ct.LONG, 0)))
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_store_mismatch_rejected(self):
+        module, fn, b = simple_module()
+        slot = b.alloca(ct.INT)
+        bad = Store.__new__(Store)
+        # Bypass the constructor check to verify the verifier catches it.
+        from repro.minic import types as _ct
+        from repro.ir.values import Value as _Value
+        super(Store, bad).__init__(_ct.VOID, [Constant(ct.LONG, 1), slot])
+        bad.synthetic = False
+        fn.entry.append(bad)
+        b.position_at_end(fn.entry)
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_unknown_builtin_rejected(self):
+        module, fn, b = simple_module()
+        fn.entry.append(Call("not_a_builtin", [], ct.VOID))
+        b.position_at_end(fn.entry)
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_builtin_arity_checked(self):
+        module, fn, b = simple_module()
+        fn.entry.append(Call("strlen_", [], ct.LONG))
+        b.position_at_end(fn.entry)
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+    def test_foreign_value_rejected(self):
+        module, fn, b = simple_module()
+        other = make_function("g")
+        other_block = other.new_block("entry")
+        foreign_builder = IRBuilder(other, other_block)
+        foreign = foreign_builder.alloca(ct.INT)
+        loaded = Load(foreign)
+        loaded.name = "bad"
+        fn.entry.append(loaded)
+        b.position_at_end(fn.entry)
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(VerifierError):
+            verify_module(module)
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(make_function("f"))
+        with pytest.raises(IRError):
+            module.add_function(make_function("f"))
+
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global(GlobalVariable("g", ct.INT))
+        with pytest.raises(IRError):
+            module.add_global(GlobalVariable("g", ct.INT))
+
+    def test_get_missing_function_raises(self):
+        with pytest.raises(IRError):
+            Module().get_function("nope")
+
+
+class TestPrinter:
+    def test_printer_covers_common_instructions(self):
+        module, fn, b = simple_module()
+        module.add_global(GlobalVariable("g", ct.INT, readonly=True))
+        slot = b.alloca(ct.INT, var_name="x")
+        b.store(Constant(ct.INT, 1), slot)
+        v = b.load(slot)
+        w = b.add(v, Constant(ct.INT, 2))
+        c = b.cmp("eq", w, Constant(ct.INT, 3))
+        then_block = fn.new_block("then")
+        done = fn.new_block("done")
+        b.cond_br(c, then_block, done)
+        b.position_at_end(then_block)
+        b.br(done)
+        b.position_at_end(done)
+        b.ret(w)
+        text = print_module(module)
+        for expected in ("alloca", "store", "load", "add", "cmp eq", "br",
+                         "ret int", "@g = constant", "define int @f"):
+            assert expected in text, f"missing {expected!r} in:\n{text}"
+
+    def test_print_function_labels(self):
+        _, fn, b = simple_module()
+        b.ret(Constant(ct.INT, 0))
+        assert "entry:" in print_function(fn)

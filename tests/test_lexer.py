@@ -1,0 +1,201 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("   \t\n  ") == []
+
+    def test_identifier(self):
+        tokens = tokenize("foo")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "foo"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = tokenize("_foo_bar42")
+        assert tokens[0].value == "_foo_bar42"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("int char while return") == [
+            TokenKind.KW_INT,
+            TokenKind.KW_CHAR,
+            TokenKind.KW_WHILE,
+            TokenKind.KW_RETURN,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("integer")
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestIntegerLiterals:
+    def test_decimal(self):
+        assert values("42") == [42]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_hex(self):
+        assert values("0xff 0XAB") == [255, 0xAB]
+
+    def test_octal(self):
+        assert values("0755") == [0o755]
+
+    def test_suffixes_ignored(self):
+        assert values("42u 42L 42UL") == [42, 42, 42]
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestCharLiterals:
+    def test_plain_char(self):
+        assert values("'A'") == [65]
+
+    def test_escapes(self):
+        assert values(r"'\n' '\t' '\0' '\\'") == [10, 9, 0, 92]
+
+    def test_hex_escape(self):
+        assert values(r"'\x41'") == [0x41]
+
+    def test_empty_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestStringLiterals:
+    def test_plain_string(self):
+        assert values('"hello"') == [b"hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb\0c"') == [b"a\nb\x00c"]
+
+    def test_empty_string(self):
+        assert values('""') == [b""]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    def test_single_char_operators(self):
+        assert kinds("+ - * / %") == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.PERCENT,
+        ]
+
+    def test_maximal_munch(self):
+        # "<<=" must lex as one token, not "<<" "=" or "<" "<=".
+        assert kinds("<<=") == [TokenKind.LSHIFT_ASSIGN]
+        assert kinds("<< =") == [TokenKind.LSHIFT, TokenKind.ASSIGN]
+
+    def test_compound_assignment_operators(self):
+        assert kinds("+= -= *= /= %= &= |= ^=") == [
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.MINUS_ASSIGN,
+            TokenKind.STAR_ASSIGN,
+            TokenKind.SLASH_ASSIGN,
+            TokenKind.PERCENT_ASSIGN,
+            TokenKind.AMP_ASSIGN,
+            TokenKind.PIPE_ASSIGN,
+            TokenKind.CARET_ASSIGN,
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= == !=") == [
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+            TokenKind.EQ,
+            TokenKind.NE,
+        ]
+
+    def test_increments_and_arrow(self):
+        assert kinds("++ -- ->") == [
+            TokenKind.PLUSPLUS,
+            TokenKind.MINUSMINUS,
+            TokenKind.ARROW,
+        ]
+
+    def test_logical_operators(self):
+        assert kinds("&& || ! & |") == [
+            TokenKind.ANDAND,
+            TokenKind.OROR,
+            TokenKind.BANG,
+            TokenKind.AMP,
+            TokenKind.PIPE,
+        ]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("42 // comment\n 7") == [
+            TokenKind.INT_LITERAL,
+            TokenKind.INT_LITERAL,
+        ]
+
+    def test_block_comment(self):
+        assert values("1 /* two\nthree */ 4") == [1, 4]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_block_comment_not_nested(self):
+        # C comments do not nest: the first */ closes.
+        tokens = tokenize("/* a /* b */ 5")
+        assert tokens[0].value == 5
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("x\n  $")
+        assert excinfo.value.location.line == 2

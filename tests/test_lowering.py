@@ -1,0 +1,205 @@
+"""Lowering (AST -> IR) structural tests."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.errors import LoweringError
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    ElemPtr,
+    FieldPtr,
+    Load,
+    Ret,
+    Store,
+)
+from repro.lowering import lower
+from repro.minic import compile_to_ast
+from repro.minic import types as ct
+
+
+def lower_source(source):
+    return lower(compile_to_ast(source))
+
+
+def instructions_of(module, name="main"):
+    return list(module.get_function(name).instructions())
+
+
+class TestLocalsAndParams:
+    def test_every_local_gets_an_alloca(self):
+        module = lower_source("int main() { int a; long b; char c[4]; return 0; }")
+        allocas = module.get_function("main").static_allocas()
+        assert {a.var_name for a in allocas} == {"a", "b", "c"}
+
+    def test_params_are_spilled_to_allocas(self):
+        module = lower_source("int f(int x, long y) { return x; } int main() { return f(1, 2); }")
+        allocas = module.get_function("f").static_allocas()
+        assert {a.var_name for a in allocas} == {"x", "y"}
+        # Each spill: one store of the incoming argument.
+        stores = [i for i in instructions_of(module, "f") if isinstance(i, Store)]
+        assert len(stores) >= 2
+
+    def test_alloca_types_match_declarations(self):
+        module = lower_source("int main() { char buf[32]; return 0; }")
+        alloca = module.get_function("main").static_allocas()[0]
+        assert alloca.allocated_type == ct.ArrayType(ct.CHAR, 32)
+        assert alloca.align == 1
+
+    def test_vla_lowered_to_dynamic_alloca(self):
+        module = lower_source(
+            "int main() { int n = 3; char v[n]; v[0] = 1; return v[0]; }"
+        )
+        dynamic = module.get_function("main").dynamic_allocas()
+        assert len(dynamic) == 1
+        assert dynamic[0].var_name == "v"
+        assert dynamic[0].count is not None
+
+
+class TestExpressions:
+    def test_implicit_conversion_casts_emitted(self):
+        module = lower_source("long main() { int a = 1; return a; }")
+        casts = [i for i in instructions_of(module) if isinstance(i, Cast)]
+        assert any(c.kind == "sext" for c in casts)
+
+    def test_array_index_uses_elemptr(self):
+        module = lower_source("int main() { int a[4]; return a[2]; }")
+        assert any(isinstance(i, ElemPtr) for i in instructions_of(module))
+
+    def test_struct_member_uses_fieldptr(self):
+        module = lower_source(
+            "struct s { int a; long b; };"
+            "int main() { struct s v; v.b = 1; return (int)v.b; }"
+        )
+        fps = [i for i in instructions_of(module) if isinstance(i, FieldPtr)]
+        assert fps and fps[0].byte_offset == 8
+
+    def test_struct_assign_lowered_to_memcpy(self):
+        module = lower_source(
+            "struct s { int a; int b; };"
+            "int main() { struct s x; struct s y; x = y; return 0; }"
+        )
+        calls = [i for i in instructions_of(module) if isinstance(i, Call)]
+        assert any(c.callee_name() == "memcpy_" for c in calls)
+
+    def test_logical_and_produces_control_flow(self):
+        module = lower_source("int main() { int a = 1; return a && a; }")
+        fn = module.get_function("main")
+        labels = [b.label for b in fn.blocks]
+        assert any("logic" in label for label in labels)
+
+    def test_string_literals_deduplicated(self):
+        module = lower_source(
+            'int main() { print_str("x"); print_str("x"); print_str("y"); return 0; }'
+        )
+        strings = [n for n in module.globals if n.startswith(".str")]
+        assert len(strings) == 2
+
+    def test_string_globals_are_readonly(self):
+        module = lower_source('int main() { print_str("ro"); return 0; }')
+        g = next(v for n, v in module.globals.items() if n.startswith(".str"))
+        assert g.readonly
+
+    def test_pointer_difference_divides_by_element_size(self):
+        module = lower_source(
+            "int main() { long a[4]; long *p = a + 3; long *q = a;"
+            " return (int)(p - q); }"
+        )
+        divs = [
+            i for i in instructions_of(module)
+            if isinstance(i, BinOp) and i.op == "sdiv"
+        ]
+        assert divs
+
+    def test_comparison_lowered_to_cmp(self):
+        module = lower_source("int main() { int a = 1; return a < 2; }")
+        assert any(
+            isinstance(i, Cmp) and i.op == "slt" for i in instructions_of(module)
+        )
+
+    def test_unsigned_comparison_uses_unsigned_predicate(self):
+        module = lower_source(
+            "int main() { unsigned int a = 1; unsigned int b = 2; return a < b; }"
+        )
+        assert any(
+            isinstance(i, Cmp) and i.op == "ult" for i in instructions_of(module)
+        )
+
+
+class TestControlFlowShape:
+    def test_if_creates_then_and_merge_blocks(self):
+        module = lower_source("int main() { if (1) return 1; return 0; }")
+        labels = [b.label for b in module.get_function("main").blocks]
+        assert any("if.then" in l for l in labels)
+        assert any("if.end" in l for l in labels)
+
+    def test_all_blocks_terminated(self):
+        module = lower_source(
+            "int main() {"
+            "  for (int i = 0; i < 3; i++) { if (i == 1) continue; }"
+            "  while (0) { break; }"
+            "  return 0;"
+            "}"
+        )
+        for block in module.get_function("main").blocks:
+            assert block.is_terminated()
+
+    def test_unreachable_merge_gets_implicit_return(self):
+        module = lower_source(
+            "int main() { if (1) return 1; else return 2; }"
+        )
+        fn = module.get_function("main")
+        # The if.end block is unreachable but must still verify.
+        for block in fn.blocks:
+            assert block.is_terminated()
+
+    def test_dead_code_after_return_dropped(self):
+        module = lower_source("int main() { return 1; print_int(9); return 2; }")
+        calls = [i for i in instructions_of(module) if isinstance(i, Call)]
+        assert not calls
+
+
+class TestErrors:
+    def test_struct_return_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_source(
+                "struct s { int a; };"
+                "struct s f() { struct s v; return v; }"
+                "int main() { return 0; }"
+            )
+
+    def test_struct_param_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_source(
+                "struct s { int a; };"
+                "int f(struct s v) { return 0; }"
+                "int main() { return 0; }"
+            )
+
+    def test_nonconstant_global_initializer_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_source("int f() { return 1; } int g = f(); int main() { return 0; }")
+
+
+class TestGlobalImages:
+    def test_int_global_image(self):
+        module = lower_source("int g = 258; int main() { return 0; }")
+        assert module.get_global("g").byte_image() == (258).to_bytes(4, "little")
+
+    def test_negative_global_image(self):
+        module = lower_source("long g = -2; int main() { return 0; }")
+        assert module.get_global("g").byte_image() == (-2).to_bytes(
+            8, "little", signed=True
+        )
+
+    def test_string_global_image(self):
+        module = lower_source('char g[8] = "ab"; int main() { return 0; }')
+        assert module.get_global("g").byte_image() == b"ab\x00" + b"\x00" * 5
+
+    def test_zero_init_by_default(self):
+        module = lower_source("long g; int main() { return 0; }")
+        assert module.get_global("g").byte_image() == b"\x00" * 8

@@ -1,0 +1,318 @@
+"""Optimizer tests: CFG analyses, mem2reg, constant folding, DCE,
+CFG simplification, and whole-pipeline semantic preservation."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.ir import Phi, print_function
+from repro.ir.instructions import Alloca, BinOp, Load, Store
+from repro.opt import (
+    DominatorTree,
+    eliminate_function,
+    fold_function,
+    optimize,
+    predecessors,
+    promotable_allocas,
+    promote,
+    reachable_blocks,
+    reverse_postorder,
+    simplify_function,
+    successors,
+)
+from repro.vm import Machine
+
+
+def build(source, opt_level=0):
+    return compile_source(source, opt_level=opt_level)
+
+
+DIAMOND = """
+int main() {
+    int x = 0;
+    int c = 1;
+    if (c) { x = 10; } else { x = 20; }
+    return x;
+}
+"""
+
+LOOP = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+        total += i;
+    }
+    return total;
+}
+"""
+
+
+class TestCfgAnalyses:
+    def test_successors_and_predecessors(self):
+        module = build(DIAMOND)
+        fn = module.get_function("main")
+        entry = fn.entry
+        succ = successors(entry)
+        assert len(succ) in (1, 2)
+        preds = predecessors(fn)
+        # Every successor records the entry as a predecessor.
+        for s in succ:
+            assert entry in preds[s]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn = build(LOOP).get_function("main")
+        order = reverse_postorder(fn)
+        assert order[0] is fn.entry
+        assert len(order) == len(reachable_blocks(fn))
+
+    def test_entry_dominates_everything(self):
+        fn = build(LOOP).get_function("main")
+        tree = DominatorTree(fn)
+        for block in tree.order:
+            assert tree.dominates(fn.entry, block)
+
+    def test_loop_header_dominates_body(self):
+        fn = build(LOOP).get_function("main")
+        tree = DominatorTree(fn)
+        header = fn.block_by_label("for.cond")
+        body = fn.block_by_label("for.body")
+        assert tree.dominates(header, body)
+        assert not tree.dominates(body, header)
+
+    def test_dominance_frontier_of_branch_arms_is_join(self):
+        fn = build(DIAMOND).get_function("main")
+        tree = DominatorTree(fn)
+        then_block = fn.block_by_label("if.then")
+        join = fn.block_by_label("if.end")
+        assert join in tree.frontiers[then_block]
+
+
+class TestPromotableAllocas:
+    def test_scalars_promotable(self):
+        fn = build(LOOP).get_function("main")
+        names = {a.var_name for a in promotable_allocas(fn)}
+        assert {"total", "i"} <= names
+
+    def test_address_taken_not_promotable(self):
+        fn = build(
+            "int main() { int x = 1; int *p = &x; *p = 2; return x; }"
+        ).get_function("main")
+        names = {a.var_name for a in promotable_allocas(fn)}
+        assert "x" not in names
+
+    def test_arrays_not_promotable(self):
+        fn = build(
+            "int main() { char buf[8]; buf[0] = 1; return buf[0]; }"
+        ).get_function("main")
+        assert promotable_allocas(fn) == []
+
+    def test_pointer_scalars_promotable(self):
+        fn = build(
+            "int main() { char b[4]; char *p = b; return *p; }"
+        ).get_function("main")
+        names = {a.var_name for a in promotable_allocas(fn)}
+        assert "p" in names and "b" not in names
+
+
+class TestMem2Reg:
+    def test_promotes_loop_variables_with_phis(self):
+        module = build(LOOP)
+        fn = module.get_function("main")
+        promoted = promote(fn)
+        assert promoted >= 2
+        phis = [i for i in fn.instructions() if isinstance(i, Phi)]
+        assert phis  # the loop-carried variables need phis
+        # All promoted allocas are gone.
+        remaining = {a.var_name for a in fn.static_allocas()}
+        assert "total" not in remaining and "i" not in remaining
+
+    def test_semantics_preserved(self):
+        baseline = Machine(build(LOOP)).run()
+        optimized_module = build(LOOP)
+        promote(optimized_module.get_function("main"))
+        from repro.ir import verify_module
+
+        verify_module(optimized_module)
+        result = Machine(optimized_module).run()
+        assert result.exit_code == baseline.exit_code == 45
+
+    def test_diamond_gets_join_phi(self):
+        module = build(DIAMOND)
+        fn = module.get_function("main")
+        promote(fn)
+        join = fn.block_by_label("if.end")
+        phis = [i for i in join.instructions if isinstance(i, Phi)]
+        assert phis
+
+    def test_promotion_reduces_executed_steps(self):
+        before = Machine(build(LOOP)).run()
+        module = build(LOOP, opt_level=2)
+        after = Machine(module).run()
+        assert after.exit_code == before.exit_code
+        assert after.steps < before.steps
+
+    def test_swap_pattern_parallel_phi_copy(self):
+        source = """
+        int main() {
+            long a = 3;
+            long b = 11;
+            for (int i = 0; i < 5; i++) {
+                long t = a; a = b; b = t;
+            }
+            return (int)(a * 100 + b);
+        }
+        """
+        baseline = Machine(build(source)).run()
+        optimized = Machine(build(source, opt_level=2)).run()
+        assert optimized.exit_code == baseline.exit_code
+
+
+class TestConstFold:
+    def test_folds_constant_arithmetic(self):
+        module = build("int main() { return (3 + 4) * 2; }")
+        fn = module.get_function("main")
+        folds = fold_function(fn)
+        assert folds >= 1
+        binops = [i for i in fn.instructions() if isinstance(i, BinOp)]
+        assert not binops
+
+    def test_folds_constant_branches_after_mem2reg(self):
+        module = build(DIAMOND, opt_level=2)
+        result = Machine(module).run()
+        assert result.exit_code == 10
+
+    def test_division_by_zero_left_for_runtime(self):
+        module = build("int main() { int z = 0; return 7 / z; }", opt_level=2)
+        result = Machine(module).run()
+        assert result.outcome == "trap"
+
+
+class TestDce:
+    def test_removes_unused_pure_instructions(self):
+        module = build("int main() { int a = 1; int b = a + 2; return a; }")
+        fn = module.get_function("main")
+        promote(fn)
+        removed = eliminate_function(fn)
+        assert removed >= 1
+
+    def test_keeps_calls(self):
+        module = build("int main() { print_int(1); return 0; }", opt_level=2)
+        result = Machine(module).run()
+        assert result.int_outputs == [1]
+
+    def test_removes_unreachable_blocks(self):
+        module = build("int main() { return 1; }")
+        fn = module.get_function("main")
+        orphan_count_before = len(fn.blocks)
+        # Lowered ifs with both-return arms leave unreachable joins:
+        module2 = build("int main() { if (1) return 1; else return 2; }")
+        fn2 = module2.get_function("main")
+        eliminate_function(fn2)
+        assert all(b in reachable_blocks(fn2) for b in fn2.blocks)
+        assert orphan_count_before >= 1
+
+
+class TestSimplifyCfg:
+    def test_merges_straightline_chains(self):
+        module = build(DIAMOND)
+        fn = module.get_function("main")
+        before = len(fn.blocks)
+        eliminate_function(fn)
+        simplify_function(fn)
+        assert len(fn.blocks) <= before
+
+    def test_o2_collapses_constant_diamond_to_one_block(self):
+        module = build(DIAMOND, opt_level=2)
+        fn = module.get_function("main")
+        assert len(fn.blocks) == 1
+        assert Machine(module).run().exit_code == 10
+
+
+class TestPipeline:
+    PROGRAMS = [
+        LOOP,
+        DIAMOND,
+        """
+        long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { return (int)fib(11); }
+        """,
+        """
+        int main() {
+            char buf[16];
+            int n = input_read(buf, 16);
+            int vowels = 0;
+            for (int i = 0; i < n; i++) {
+                if (buf[i] == 'a' || buf[i] == 'e') vowels++;
+            }
+            return vowels;
+        }
+        """,
+        """
+        struct acc { long sum; int count; };
+        void add(struct acc *a, int v) { a->sum += v; a->count++; }
+        int main() {
+            struct acc a; a.sum = 0; a.count = 0;
+            for (int i = 1; i <= 6; i++) add(&a, i);
+            return (int)(a.sum + a.count);
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("index", range(len(PROGRAMS)))
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_optimized_equals_baseline(self, index, level):
+        source = self.PROGRAMS[index]
+        inputs = [b"banana"]
+        baseline = Machine(build(source), inputs=list(inputs)).run()
+        optimized = Machine(build(source, opt_level=level), inputs=list(inputs)).run()
+        assert optimized.exit_code == baseline.exit_code
+        assert optimized.int_outputs == baseline.int_outputs
+
+    def test_bad_level_rejected(self):
+        module = build(LOOP)
+        with pytest.raises(ValueError):
+            optimize(module, level=3)
+
+    def test_stats_reported(self):
+        module = build(LOOP)
+        stats = optimize(module, level=2)
+        assert stats["mem2reg"] >= 2
+        assert set(stats) == {"dce", "constfold", "simplifycfg", "mem2reg"}
+
+
+class TestOptimizerAndSmokestack:
+    SOURCE = """
+    int handler(int n) {
+        long counter = 0;
+        char buffer[32];
+        long limit = 100;
+        buffer[0] = (char)n;
+        for (long i = 0; i < limit; i++) counter += buffer[0];
+        return (int)counter;
+    }
+    int main() { return handler(2) & 0xff; }
+    """
+
+    def test_o2_shrinks_the_permutable_frame(self):
+        from repro.core import harden_source
+
+        at_o0 = harden_source(self.SOURCE, opt_level=0)
+        at_o2 = harden_source(self.SOURCE, opt_level=2)
+        slots_o0 = at_o0.pbox.entry_for("handler").table.slot_count
+        slots_o2 = at_o2.pbox.entry_for("handler").table.slot_count
+        # Scalars got promoted: only the buffer (+fnid) remains on stack.
+        assert slots_o2 < slots_o0
+        assert slots_o2 == 2
+
+    def test_hardened_o2_still_correct(self):
+        from repro.core import harden_source
+        from repro.rng import DeterministicEntropy
+
+        baseline = Machine(build(self.SOURCE)).run()
+        hardened = harden_source(self.SOURCE, opt_level=2)
+        result = hardened.make_machine(entropy=DeterministicEntropy(3)).run()
+        assert result.exit_code == baseline.exit_code
+
+    def test_phi_printing(self):
+        module = build(LOOP, opt_level=2)
+        text = print_function(module.get_function("main"))
+        assert "phi" in text

@@ -1,0 +1,300 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import astnodes as ast
+from repro.minic import types as ct
+from repro.minic.parser import parse
+
+
+def parse_expr(text):
+    """Parse an expression by wrapping it in a function."""
+    unit = parse("int f() { return %s; }" % text)
+    fn = unit.functions()[0]
+    ret = fn.body.statements[-1]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+def parse_stmts(text):
+    unit = parse("void f() { %s }" % text)
+    return unit.functions()[0].body.statements
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("int main() { return 0; }")
+        fn = unit.functions()[0]
+        assert fn.name == "main"
+        assert fn.return_type == ct.INT
+        assert fn.params == []
+
+    def test_function_with_params(self):
+        unit = parse("long add(int a, long b) { return b; }")
+        fn = unit.functions()[0]
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert fn.params[0].declared_type == ct.INT
+        assert fn.params[1].declared_type == ct.LONG
+
+    def test_void_parameter_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions()[0].params == []
+
+    def test_array_parameter_decays(self):
+        unit = parse("int f(char buf[16]) { return 0; }")
+        param = unit.functions()[0].params[0]
+        assert param.declared_type == ct.PointerType(ct.CHAR)
+
+    def test_function_declaration_without_body(self):
+        unit = parse("int f(int x);")
+        decls = [d for d in unit.declarations if isinstance(d, ast.FunctionDef)]
+        assert decls[0].body is None
+
+    def test_global_variable(self):
+        unit = parse("int g = 42;")
+        g = unit.globals()[0]
+        assert g.name == "g"
+        assert g.is_global
+        assert isinstance(g.initializer, ast.IntLiteral)
+
+    def test_multiple_globals_one_declaration(self):
+        unit = parse("int a, b = 2, c;")
+        assert [g.name for g in unit.globals()] == ["a", "b", "c"]
+
+    def test_struct_definition(self):
+        unit = parse("struct point { int x; int y; }; ")
+        struct_defs = [d for d in unit.declarations if isinstance(d, ast.StructDef)]
+        s = struct_defs[0].struct_type
+        assert s.tag == "point"
+        assert s.size() == 8
+
+    def test_struct_with_pointer_field(self):
+        unit = parse("struct node { int value; struct node *next; };")
+        s = unit.declarations[0].struct_type
+        assert s.field_type(1).is_pointer()
+
+    def test_garbage_at_top_level_raises(self):
+        with pytest.raises(ParseError):
+            parse("42;")
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("int", ct.INT),
+            ("char", ct.CHAR),
+            ("short", ct.SHORT),
+            ("long", ct.LONG),
+            ("unsigned int", ct.UINT),
+            ("unsigned", ct.UINT),
+            ("unsigned char", ct.UCHAR),
+            ("unsigned long", ct.ULONG),
+            ("double", ct.DOUBLE),
+            ("float", ct.FLOAT),
+        ],
+    )
+    def test_base_types(self, spelling, expected):
+        unit = parse(f"{spelling} g;")
+        assert unit.globals()[0].declared_type == expected
+
+    def test_pointer_types(self):
+        unit = parse("int **pp;")
+        assert unit.globals()[0].declared_type == ct.PointerType(
+            ct.PointerType(ct.INT)
+        )
+
+    def test_array_type(self):
+        unit = parse("char buf[64];")
+        assert unit.globals()[0].declared_type == ct.ArrayType(ct.CHAR, 64)
+
+    def test_multidim_array(self):
+        unit = parse("int grid[3][4];")
+        t = unit.globals()[0].declared_type
+        assert t == ct.ArrayType(ct.ArrayType(ct.INT, 4), 3)
+
+    def test_constant_expression_array_length(self):
+        unit = parse("char buf[8 * 4];")
+        assert unit.globals()[0].declared_type.length == 32
+
+    def test_zero_length_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("char buf[0];")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmts = parse_stmts("if (1) { } else { }")
+        assert isinstance(stmts[0], ast.If)
+        assert stmts[0].else_branch is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmts = parse_stmts("if (1) if (2) ; else ;")
+        outer = stmts[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_while(self):
+        stmts = parse_stmts("while (1) { break; }")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_do_while(self):
+        stmts = parse_stmts("do { } while (0);")
+        assert isinstance(stmts[0], ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        stmts = parse_stmts("for (int i = 0; i < 10; i++) { }")
+        loop = stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.DeclStmt)
+
+    def test_for_all_parts_optional(self):
+        stmts = parse_stmts("for (;;) { break; }")
+        loop = stmts[0]
+        assert loop.init is None and loop.condition is None and loop.step is None
+
+    def test_local_declaration_multiple(self):
+        stmts = parse_stmts("int a = 1, b, c = 3;")
+        decl = stmts[0]
+        assert [d.name for d in decl.decls] == ["a", "b", "c"]
+        assert decl.decls[1].initializer is None
+
+    def test_vla_declaration(self):
+        stmts = parse_stmts("int n = 4; char buf[n];")
+        vla = stmts[1].decls[0]
+        assert vla.vla_length is not None
+        assert vla.declared_type.length is None
+
+    def test_vla_with_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("int n = 1; char b[n] = \"x\";")
+
+    def test_break_continue_return(self):
+        stmts = parse_stmts("while (1) { continue; } return;")
+        assert isinstance(stmts[1], ast.Return)
+        assert stmts[1].value is None
+
+    def test_empty_statement(self):
+        stmts = parse_stmts(";")
+        assert isinstance(stmts[0], ast.EmptyStmt)
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = parse_expr("1 < 2 && 3 > 4")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_assignment_is_right_associative(self):
+        stmts = parse_stmts("int a; int b; a = b = 1;")
+        assign = stmts[2].expr
+        assert isinstance(assign, ast.Assignment)
+        assert isinstance(assign.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        stmts = parse_stmts("int a; a += 2;")
+        assign = stmts[1].expr
+        assert assign.op == "+"
+
+    def test_ternary(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_operators(self):
+        expr = parse_expr("-!~5")
+        assert expr.op == "-"
+        assert expr.operand.op == "!"
+        assert expr.operand.operand.op == "~"
+
+    def test_dereference_and_address(self):
+        stmts = parse_stmts("int x; int *p = &x; *p = 1;")
+        deref = stmts[2].expr.target
+        assert isinstance(deref, ast.UnaryOp) and deref.op == "*"
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("input_read(0, 1)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_index_chain(self):
+        stmts = parse_stmts("int g[2][2]; g[0][1] = 5;")
+        target = stmts[1].expr.target
+        assert isinstance(target, ast.Index)
+        assert isinstance(target.base, ast.Index)
+
+    def test_member_access(self):
+        unit = parse(
+            "struct p { int x; }; void f() { struct p a; a.x = 1; }"
+        )
+        assign = unit.functions()[0].body.statements[1].expr
+        assert isinstance(assign.target, ast.Member)
+        assert not assign.target.is_arrow
+
+    def test_arrow_access(self):
+        unit = parse(
+            "struct p { int x; }; void f(struct p *a) { a->x = 1; }"
+        )
+        assign = unit.functions()[0].body.statements[0].expr
+        assert assign.target.is_arrow
+
+    def test_cast_expression(self):
+        expr = parse_expr("(long)42")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ct.LONG
+
+    def test_cast_vs_parenthesized_expression(self):
+        expr = parse_expr("(42)")
+        assert isinstance(expr, ast.IntLiteral)
+
+    def test_sizeof_type(self):
+        expr = parse_expr("sizeof(long)")
+        assert isinstance(expr, ast.SizeofType)
+        assert expr.queried_type == ct.LONG
+
+    def test_sizeof_expression(self):
+        stmts = parse_stmts("int x; long n = sizeof x;")
+        init = stmts[1].decls[0].initializer
+        assert isinstance(init, ast.SizeofExpr)
+
+    def test_postfix_increment(self):
+        stmts = parse_stmts("int i; i++;")
+        assert isinstance(stmts[1].expr, ast.PostfixOp)
+
+    def test_prefix_increment(self):
+        stmts = parse_stmts("int i; ++i;")
+        expr = stmts[1].expr
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "++"
+
+    def test_string_literal(self):
+        expr = parse_expr('"hi"')
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == b"hi"
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x }")
+
+    def test_missing_expression_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { return +; }")

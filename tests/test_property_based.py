@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.overflow import le64, overflow_payload, read_le64, relative_payload
+from repro.attacks.proftpd import stacked_writes
+from repro.core.pipeline import compile_source, harden_source
+from repro.core import SmokestackConfig
+from repro.minic import types as ct
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+from repro.rng import DeterministicEntropy, xorshift64_step
+from repro.vm import Machine
+from repro.vm.interpreter import _apply_binop, _wrap_int
+from repro.vm.memory import DATA_BASE, Memory
+
+
+# -- integer semantics ---------------------------------------------------------------
+
+int_types = st.sampled_from([ct.CHAR, ct.UCHAR, ct.SHORT, ct.INT, ct.UINT, ct.LONG, ct.ULONG])
+big_ints = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+@given(big_ints, int_types)
+def test_wrap_int_in_range(value, ctype):
+    wrapped = _wrap_int(value, ctype)
+    assert ctype.min_value() <= wrapped <= ctype.max_value()
+
+
+@given(big_ints, int_types)
+def test_wrap_int_idempotent(value, ctype):
+    once = _wrap_int(value, ctype)
+    assert _wrap_int(once, ctype) == once
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+def test_add_matches_c_semantics(a, b):
+    result = _apply_binop("add", a, b, ct.INT)
+    expected = (a + b) & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    assert result == expected
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(1, 2**31 - 1))
+def test_sdiv_srem_identity(a, b):
+    q = _apply_binop("sdiv", a, b, ct.INT)
+    r = _apply_binop("srem", a, b, ct.INT)
+    assert q * b + r == a
+    assert abs(r) < b
+
+
+# -- memory --------------------------------------------------------------------------
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 192))
+def test_memory_write_read_roundtrip(data, offset):
+    memory = Memory()
+    memory.install("data", b"\x00" * 256)
+    memory.write_bytes(DATA_BASE + offset, data)
+    assert memory.read_bytes(DATA_BASE + offset, len(data)) == data
+
+
+@given(st.integers(0, 2**64 - 1), st.sampled_from([1, 2, 4, 8]))
+def test_memory_int_roundtrip_unsigned(value, size):
+    memory = Memory()
+    memory.install("data", b"\x00" * 16)
+    memory.write_int(DATA_BASE, value, size)
+    mask = (1 << (size * 8)) - 1
+    assert memory.read_int(DATA_BASE, size, signed=False) == value & mask
+
+
+# -- lexer ----------------------------------------------------------------------------
+
+identifier = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+
+@given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=8))
+def test_lexer_integer_values_roundtrip(values):
+    source = " ".join(str(v) for v in values)
+    tokens = tokenize(source)
+    literals = [t.value for t in tokens if t.kind is TokenKind.INT_LITERAL]
+    assert literals == values
+
+
+@given(identifier)
+def test_lexer_identifier_roundtrip(name):
+    tokens = tokenize(name)
+    assert tokens[0].kind in (TokenKind.IDENT, *[
+        k for k in TokenKind if k.name.startswith("KW_")
+    ])
+    if tokens[0].kind is TokenKind.IDENT:
+        assert tokens[0].value == name
+
+
+# -- payload builders -------------------------------------------------------------------
+
+@given(st.integers(0, 2**64 - 1))
+def test_le64_roundtrip(value):
+    assert read_le64(le64(value)) == value
+
+
+@given(st.integers(0, 200), st.binary(min_size=1, max_size=16))
+def test_relative_payload_places_value(gap, value):
+    payload = relative_payload(gap, value)
+    assert payload[gap : gap + len(value)] == value
+    assert len(payload) == gap + len(value)
+
+
+@given(
+    st.binary(min_size=1, max_size=48).map(lambda b: b + b"\x00"),
+)
+@settings(max_examples=80)
+def test_stacked_writes_compose_any_image(image):
+    writes = stacked_writes(image)
+    memory = bytearray(b"\xcc" * (len(image) + 8))
+    for write in writes:
+        assert b"\x00" not in write  # valid C strings
+        memory[: len(write)] = write
+        memory[len(write)] = 0
+    assert bytes(memory[: len(image)]) == image
+
+
+# -- end-to-end semantic preservation ---------------------------------------------------
+
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=6),
+    st.integers(0, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_hardened_programs_compute_identically(values, seed):
+    """Randomly-generated arithmetic programs behave identically hardened."""
+    body = []
+    names = []
+    for index, value in enumerate(values):
+        body.append(f"long v{index} = {value};")
+        names.append(f"v{index}")
+    expression = " + ".join(names)
+    source = (
+        "int main() { %s char pad[16]; pad[0] = 1;"
+        " return (int)((%s) & 0x7f); }" % (" ".join(body), expression)
+    )
+    baseline = Machine(compile_source(source)).run()
+    hardened = harden_source(source, SmokestackConfig())
+    machine = hardened.make_machine(entropy=DeterministicEntropy(seed))
+    result = machine.run()
+    assert result.exit_code == baseline.exit_code
+
+
+# -- xorshift ---------------------------------------------------------------------------
+
+@given(st.integers(1, 2**64 - 1))
+def test_xorshift_stays_in_range_and_nonzero(state):
+    for _ in range(4):
+        state = xorshift64_step(state)
+        assert 0 < state < 2**64
+
+
+# -- optimizer equivalence ----------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(-50, 50), min_size=2, max_size=5),
+    st.integers(1, 12),
+)
+@settings(max_examples=20, deadline=None)
+def test_optimizer_preserves_random_loop_programs(values, bound):
+    """Random accumulate-loop programs compute identically at -O2."""
+    body = []
+    terms = []
+    for index, value in enumerate(values):
+        body.append(f"long v{index} = {value};")
+        terms.append(f"v{index}")
+    source = (
+        "int main() {\n"
+        + "\n".join(body)
+        + f"""
+        long total = 0;
+        for (int i = 0; i < {bound}; i++) {{
+            total += {' + '.join(terms)} + i;
+            v0 = v0 + 1;
+        }}
+        return (int)(total & 0x7fff);
+    }}"""
+    )
+    baseline = Machine(compile_source(source)).run()
+    optimized = Machine(compile_source(source, opt_level=2)).run()
+    assert baseline.finished_cleanly() and optimized.finished_cleanly()
+    assert optimized.exit_code == baseline.exit_code

@@ -1,0 +1,187 @@
+"""Randomness substrate tests: AES, CTR generation, the four sources."""
+
+import pytest
+
+from repro.rng import (
+    AES128,
+    AesCtrGenerator,
+    AesSource,
+    DeterministicEntropy,
+    PseudoSource,
+    RdrandSource,
+    encrypt_block,
+    expand_key,
+    make_source,
+    table1_rows,
+    xorshift64_step,
+)
+from repro.rng.sources import AES_BASE_CYCLES, AES_ROUND_CYCLES
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        # FIPS-197 Appendix B.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt(plaintext) == expected
+
+    def test_key_schedule_length(self):
+        keys = expand_key(b"\x00" * 16, rounds=10)
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+
+    def test_reduced_rounds_differ_from_full(self):
+        key = b"k" * 16
+        block = b"p" * 16
+        one = AES128(key, rounds=1).encrypt(block)
+        ten = AES128(key, rounds=10).encrypt(block)
+        assert one != ten
+
+    def test_determinism(self):
+        key = b"x" * 16
+        assert AES128(key).encrypt(b"m" * 16) == AES128(key).encrypt(b"m" * 16)
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            expand_key(b"short")
+
+    def test_bad_round_count_rejected(self):
+        with pytest.raises(ValueError):
+            expand_key(b"\x00" * 16, rounds=0)
+        with pytest.raises(ValueError):
+            expand_key(b"\x00" * 16, rounds=11)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_block(b"short", expand_key(b"\x00" * 16))
+
+    def test_diffusion(self):
+        # Flipping one plaintext bit changes about half the output bits.
+        key = b"\xab" * 16
+        a = AES128(key).encrypt(b"\x00" * 16)
+        b = AES128(key).encrypt(b"\x01" + b"\x00" * 15)
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 40 <= differing <= 90
+
+
+class TestCtrGenerator:
+    def test_deterministic_under_fixed_entropy(self):
+        a = AesCtrGenerator(DeterministicEntropy(1))
+        b = AesCtrGenerator(DeterministicEntropy(1))
+        assert [a.generate(i) for i in range(8)] == [
+            b.generate(i) for i in range(8)
+        ]
+
+    def test_distinct_counters_distinct_outputs(self):
+        gen = AesCtrGenerator(DeterministicEntropy(2))
+        values = [gen.generate(i) for i in range(64)]
+        assert len(set(values)) == 64
+
+    def test_reseed_interval(self):
+        gen = AesCtrGenerator(DeterministicEntropy(3), reseed_interval=10)
+        initial = gen.reseed_count
+        gen.generate(5)
+        assert gen.reseed_count == initial
+        gen.generate(25)
+        assert gen.reseed_count == initial + 1
+
+    def test_bad_reseed_interval(self):
+        with pytest.raises(ValueError):
+            AesCtrGenerator(reseed_interval=0)
+
+    def test_output_is_64_bit(self):
+        gen = AesCtrGenerator(DeterministicEntropy(4))
+        for i in range(16):
+            assert 0 <= gen.generate(i) < 2**64
+
+
+class TestSources:
+    def test_factory_names(self):
+        for name in ("pseudo", "aes-1", "aes-10", "rdrand"):
+            source = make_source(name, DeterministicEntropy(0))
+            assert source.name == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_source("quantum")
+        with pytest.raises(ValueError):
+            make_source("aes-x")
+
+    def test_table1_rates(self):
+        rows = table1_rows()
+        assert rows["pseudo"]["cycles"] == pytest.approx(3.4)
+        assert rows["AES-1"]["cycles"] == pytest.approx(19.2)
+        assert rows["AES-10"]["cycles"] == pytest.approx(92.8)
+        assert rows["RDRAND"]["cycles"] == pytest.approx(265.6)
+
+    def test_aes_cost_model_is_linear_in_rounds(self):
+        assert AesSource(1, DeterministicEntropy(0)).cycles_per_call == (
+            pytest.approx(AES_BASE_CYCLES + AES_ROUND_CYCLES)
+        )
+        assert AesSource(10, DeterministicEntropy(0)).cycles_per_call == (
+            pytest.approx(92.8)
+        )
+
+    def test_security_labels(self):
+        assert make_source("pseudo").security == "none"
+        assert make_source("aes-1", DeterministicEntropy(0)).security == "low"
+        assert make_source("aes-10", DeterministicEntropy(0)).security == "high"
+        assert make_source("rdrand", DeterministicEntropy(0)).security == "high"
+
+    def test_rdrand_uses_entropy_directly(self):
+        source = RdrandSource(DeterministicEntropy(7))
+        reference = DeterministicEntropy(7)
+        assert source.generate(None) == reference.read_u64()
+
+    def test_xorshift_step_is_nonzero_preserving(self):
+        state = 0x123456789
+        for _ in range(100):
+            state = xorshift64_step(state)
+            assert state != 0
+
+    def test_pseudo_prediction_matches_steps(self):
+        value, _ = PseudoSource.predict_from_state(42, steps=3)
+        manual = 42
+        for _ in range(3):
+            manual = xorshift64_step(manual)
+        assert value == manual
+
+
+class TestPseudoSourceInVm:
+    def test_state_lives_in_guest_memory(self):
+        from repro.core import SmokestackConfig, harden_source
+        from repro.rng.sources import PSEUDO_STATE_GLOBAL
+
+        hardened = harden_source(
+            "int main() { int x = 1; return x; }",
+            SmokestackConfig(scheme="pseudo"),
+        )
+        machine = hardened.make_machine()
+        result = machine.run()
+        assert result.finished_cleanly()
+        address = machine.image.address_of_global(PSEUDO_STATE_GLOBAL)
+        state = machine.memory.read_int(address, 8, signed=False)
+        assert state != 0  # the generator wrote its state to guest memory
+
+    def test_disclosed_state_predicts_next_index(self):
+        # The pseudo scheme is breakable by design: reading the state
+        # global lets the attacker predict the next permutation index.
+        from repro.core import SmokestackConfig, harden_source
+        from repro.rng.sources import PSEUDO_STATE_GLOBAL
+
+        hardened = harden_source(
+            "void tick() { int x = 0; x = x + 1; }"
+            "int main() { tick(); tick(); return 0; }",
+            SmokestackConfig(scheme="pseudo"),
+        )
+        machine = hardened.make_machine()
+        machine.run()
+        address = machine.image.address_of_global(PSEUDO_STATE_GLOBAL)
+        final_state = machine.memory.read_int(address, 8, signed=False)
+        predicted, _ = PseudoSource.predict_from_state(final_state, steps=1)
+        # A fresh machine continuing from that state must produce exactly
+        # the predicted value next.
+        machine2 = hardened.make_machine()
+        machine2.memory.write_int(address, final_state, 8)
+        assert PseudoSource().generate(machine2) == predicted

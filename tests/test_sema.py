@@ -1,0 +1,260 @@
+"""Semantic analysis unit tests."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic import astnodes as ast
+from repro.minic import compile_to_ast
+from repro.minic import types as ct
+
+
+def analyze(source):
+    return compile_to_ast(source)
+
+
+def analyze_body(body):
+    return analyze("int main() { %s return 0; }" % body)
+
+
+def expect_error(source, fragment):
+    with pytest.raises(SemanticError) as excinfo:
+        analyze(source)
+    assert fragment in str(excinfo.value)
+
+
+class TestDeclarations:
+    def test_undeclared_name(self):
+        expect_error("int main() { return missing; }", "undeclared")
+
+    def test_duplicate_local(self):
+        expect_error("int main() { int a; int a; return 0; }", "redeclaration")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        analyze_body("int a = 1; { int a = 2; a = a + 1; }")
+
+    def test_for_scope_is_separate(self):
+        analyze_body("for (int i = 0; i < 3; i++) { } for (int i = 0; i < 3; i++) { }")
+
+    def test_loop_variable_not_visible_after(self):
+        expect_error(
+            "int main() { for (int i = 0; i < 3; i++) { } return i; }",
+            "undeclared",
+        )
+
+    def test_void_variable_rejected(self):
+        expect_error("int main() { void v; return 0; }", "void")
+
+    def test_incomplete_struct_variable_rejected(self):
+        expect_error(
+            "struct s *g_p;\nint main() { struct s v; return 0; }",
+            "incomplete",
+        )
+
+    def test_duplicate_function_definition(self):
+        expect_error("int f() { return 0; } int f() { return 1; }", "redefinition")
+
+    def test_conflicting_signatures(self):
+        expect_error("int f(int a); long f(int a) { return 0; }", "conflicting")
+
+    def test_builtin_name_collision(self):
+        expect_error("int input_read(char *b, int n) { return 0; }", "builtin")
+
+
+class TestTypeChecking:
+    def test_arithmetic_result_types(self):
+        unit = analyze("long f() { int a = 1; long b = 2; return a + b; }")
+        ret = unit.functions()[0].body.statements[-1]
+        assert ret.value.ctype == ct.LONG
+
+    def test_char_arithmetic_promotes_to_int(self):
+        unit = analyze("int f() { char a = 1; char b = 2; return a + b; }")
+        ret = unit.functions()[0].body.statements[-1]
+        assert ret.value.ctype == ct.INT
+
+    def test_comparison_yields_int(self):
+        unit = analyze("int f() { long a = 1; return a < 2; }")
+        ret = unit.functions()[0].body.statements[-1]
+        assert ret.value.ctype == ct.INT
+
+    def test_pointer_plus_int(self):
+        analyze_body("char buf[4]; char *p = buf + 2;")
+
+    def test_pointer_minus_pointer(self):
+        unit = analyze(
+            "long f() { char buf[8]; char *a = buf; char *b = buf + 3; return b - a; }"
+        )
+        ret = unit.functions()[0].body.statements[-1]
+        assert ret.value.ctype == ct.LONG
+
+    def test_pointer_difference_requires_same_pointee(self):
+        expect_error(
+            "long f() { int a; char c; int *p = &a; char *q = &c;"
+            " return p - q; }",
+            "identical pointee",
+        )
+
+    def test_mod_requires_integers(self):
+        expect_error(
+            "int f() { double d = (double)1; return (int)(d % (double)2); }",
+            "integer operands",
+        )
+
+    def test_deref_non_pointer_rejected(self):
+        expect_error("int f() { int a = 1; return *a; }", "dereference")
+
+    def test_deref_void_pointer_rejected(self):
+        expect_error(
+            "int f() { void *p = 0; return *p; }", "void*"
+        )
+
+    def test_address_of_rvalue_rejected(self):
+        expect_error("int f() { int *p = &(1 + 2); return 0; }", "lvalue")
+
+    def test_assign_to_rvalue_rejected(self):
+        expect_error("int f() { 1 = 2; return 0; }", "lvalue")
+
+    def test_assign_to_array_rejected(self):
+        expect_error(
+            'int f() { char a[4]; char b[4]; a = b; return 0; }',
+            "array",
+        )
+
+    def test_incompatible_pointer_assignment_rejected(self):
+        expect_error(
+            "int f() { int a; long *p = &a; return 0; }",
+            "incompatible pointer",
+        )
+
+    def test_void_pointer_assignment_allowed(self):
+        analyze_body("int a; void *p = &a; int *q = (int*)p;")
+
+    def test_null_constant_to_pointer(self):
+        analyze_body("int *p = 0; if (p == 0) { }")
+
+    def test_int_to_pointer_requires_cast(self):
+        expect_error("int f() { int *p = 5; return 0; }", "cannot convert")
+
+    def test_struct_assignment_allowed(self):
+        analyze(
+            "struct p { int x; int y; };"
+            "void f() { struct p a; struct p b; a.x = 1; b = a; }"
+        )
+
+    def test_condition_must_be_scalar(self):
+        expect_error(
+            "struct s { int x; }; int f() { struct s v; if (v) { } return 0; }",
+            "scalar",
+        )
+
+
+class TestCalls:
+    def test_unknown_function(self):
+        expect_error("int f() { return nope(); }", "undeclared function")
+
+    def test_wrong_arity(self):
+        expect_error(
+            "int g(int a) { return a; } int f() { return g(1, 2); }",
+            "expects 1 argument",
+        )
+
+    def test_argument_conversion_inserted(self):
+        unit = analyze("long g(long v) { return v; } long f() { return g(1); }")
+        call = unit.functions()[1].body.statements[-1].value
+        assert call.args[0].ctype == ct.LONG
+
+    def test_incompatible_argument_rejected(self):
+        expect_error(
+            "int g(int *p) { return 0; } int f() { long l; return g(&l); }",
+            "incompatible pointer",
+        )
+
+    def test_builtins_implicitly_declared(self):
+        analyze_body("char b[4]; input_read(b, 4);")
+
+    def test_array_argument_decays(self):
+        unit = analyze("long f() { char b[4]; return strlen_(b); }")
+        call = unit.functions()[0].body.statements[-1].value
+        assert call.args[0].ctype == ct.PointerType(ct.CHAR)
+
+
+class TestReturnChecking:
+    def test_void_function_with_value_rejected(self):
+        expect_error("void f() { return 1; }", "void function")
+
+    def test_nonvoid_bare_return_rejected(self):
+        expect_error("int f() { return; }", "must return a value")
+
+    def test_return_value_converted(self):
+        unit = analyze("long f() { return 1; }")
+        ret = unit.functions()[0].body.statements[0]
+        assert ret.value.ctype == ct.LONG
+
+
+class TestControlFlowChecks:
+    def test_break_outside_loop(self):
+        expect_error("int f() { break; return 0; }", "outside")
+
+    def test_continue_outside_loop(self):
+        expect_error("int f() { continue; return 0; }", "outside")
+
+    def test_break_inside_nested_loop_ok(self):
+        analyze_body("while (1) { for (;;) { break; } break; }")
+
+
+class TestCompoundAssignment:
+    def test_desugars_to_compound_read(self):
+        unit = analyze("int f() { int a = 1; a += 2; return a; }")
+        assign = unit.functions()[0].body.statements[1].expr
+        assert assign.op is None
+        found = [
+            n for n in ast.walk(assign.value) if isinstance(n, ast.CompoundRead)
+        ]
+        assert len(found) == 1
+
+    def test_pointer_compound_add(self):
+        analyze_body("char buf[8]; char *p = buf; p += 3;")
+
+    def test_shift_compound(self):
+        analyze_body("int a = 1; a <<= 2;")
+
+
+class TestMemberAccess:
+    def test_dot_on_non_struct_rejected(self):
+        expect_error("int f() { int a; return a.x; }", "requires a struct")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        expect_error(
+            "struct s { int x; }; int f() { struct s v; return v->x; }",
+            "pointer to struct",
+        )
+
+    def test_unknown_field_rejected(self):
+        expect_error(
+            "struct s { int x; }; int f() { struct s v; return v.y; }",
+            "no field",
+        )
+
+
+class TestGlobals:
+    def test_global_initializer_must_be_constant(self):
+        # Sema accepts any well-typed initializer; the constant requirement
+        # is enforced when the image is built (lowering).
+        import pytest as _pytest
+        from repro.errors import LoweringError
+        from repro.lowering import lower
+
+        unit = analyze("int g() { return 1; } int x = g();")
+        with _pytest.raises(LoweringError):
+            lower(unit)
+
+    def test_string_initializer_for_char_array(self):
+        analyze('char msg[8] = "hi";')
+
+    def test_string_too_long_rejected(self):
+        expect_error('char msg[2] = "abc";', "does not fit")
+
+    def test_identifiers_resolve_to_declarations(self):
+        unit = analyze("int g; int f() { return g; }")
+        ret = unit.functions()[0].body.statements[0]
+        assert isinstance(ret.value.decl, ast.VarDecl)
+        assert ret.value.decl.is_global

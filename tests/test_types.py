@@ -1,0 +1,180 @@
+"""Type system unit tests: sizes, alignment, struct layout, conversions."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic import types as ct
+
+
+class TestScalarTypes:
+    @pytest.mark.parametrize(
+        "type_, size",
+        [
+            (ct.CHAR, 1), (ct.UCHAR, 1),
+            (ct.SHORT, 2), (ct.USHORT, 2),
+            (ct.INT, 4), (ct.UINT, 4),
+            (ct.LONG, 8), (ct.ULONG, 8),
+            (ct.FLOAT, 4), (ct.DOUBLE, 8),
+        ],
+    )
+    def test_sizes(self, type_, size):
+        assert type_.size() == size
+        assert type_.alignment() == size  # natural alignment
+
+    def test_pointer_size(self):
+        p = ct.PointerType(ct.CHAR)
+        assert p.size() == 8
+        assert p.alignment() == 8
+
+    def test_int_ranges(self):
+        assert ct.CHAR.min_value() == -128
+        assert ct.CHAR.max_value() == 127
+        assert ct.UCHAR.min_value() == 0
+        assert ct.UCHAR.max_value() == 255
+        assert ct.INT.max_value() == 2**31 - 1
+        assert ct.ULONG.max_value() == 2**64 - 1
+
+    def test_type_equality(self):
+        assert ct.IntType("int", 4, True) == ct.INT
+        assert ct.IntType("x", 4, False) != ct.INT
+        assert ct.PointerType(ct.INT) == ct.PointerType(ct.INT)
+        assert ct.PointerType(ct.INT) != ct.PointerType(ct.LONG)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(SemanticError):
+            ct.VOID.size()
+
+    def test_predicates(self):
+        assert ct.INT.is_integer() and ct.INT.is_arithmetic()
+        assert ct.DOUBLE.is_float() and ct.DOUBLE.is_arithmetic()
+        assert ct.PointerType(ct.INT).is_pointer()
+        assert ct.PointerType(ct.INT).is_scalar()
+        assert not ct.ArrayType(ct.INT, 3).is_scalar()
+
+
+class TestArrayTypes:
+    def test_array_size(self):
+        assert ct.ArrayType(ct.INT, 10).size() == 40
+
+    def test_array_alignment_is_element_alignment(self):
+        assert ct.ArrayType(ct.CHAR, 100).alignment() == 1
+        assert ct.ArrayType(ct.LONG, 4).alignment() == 8
+
+    def test_nested_arrays(self):
+        inner = ct.ArrayType(ct.INT, 4)
+        outer = ct.ArrayType(inner, 3)
+        assert outer.size() == 48
+
+    def test_vla_has_no_static_size(self):
+        vla = ct.ArrayType(ct.CHAR, None)
+        assert not vla.is_complete()
+        with pytest.raises(SemanticError):
+            vla.size()
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SemanticError):
+            ct.ArrayType(ct.INT, -1)
+
+
+class TestStructLayout:
+    def test_simple_struct(self):
+        s = ct.StructType("point")
+        s.set_fields([("x", ct.INT), ("y", ct.INT)])
+        assert s.size() == 8
+        assert s.alignment() == 4
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 4
+
+    def test_padding_between_fields(self):
+        s = ct.StructType("mixed")
+        s.set_fields([("c", ct.CHAR), ("l", ct.LONG)])
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 8  # 7 bytes padding
+        assert s.size() == 16
+        assert s.alignment() == 8
+
+    def test_tail_padding(self):
+        s = ct.StructType("tail")
+        s.set_fields([("l", ct.LONG), ("c", ct.CHAR)])
+        assert s.size() == 16  # rounded to alignment 8
+        assert s.alignment() == 8
+
+    def test_nested_struct_alignment(self):
+        inner = ct.StructType("inner")
+        inner.set_fields([("a", ct.LONG)])
+        outer = ct.StructType("outer")
+        outer.set_fields([("c", ct.CHAR), ("i", inner)])
+        assert outer.field_offset(1) == 8
+        assert outer.alignment() == 8
+
+    def test_field_lookup(self):
+        s = ct.StructType("s")
+        s.set_fields([("a", ct.INT), ("b", ct.CHAR)])
+        assert s.field_index("b") == 1
+        assert s.field_type(1) == ct.CHAR
+        with pytest.raises(SemanticError):
+            s.field_index("missing")
+
+    def test_duplicate_field_rejected(self):
+        s = ct.StructType("dup")
+        with pytest.raises(SemanticError):
+            s.set_fields([("a", ct.INT), ("a", ct.INT)])
+
+    def test_incomplete_struct_raises(self):
+        s = ct.StructType("incomplete")
+        assert not s.is_complete()
+        with pytest.raises(SemanticError):
+            s.size()
+
+    def test_redefinition_rejected(self):
+        s = ct.StructType("once")
+        s.set_fields([("a", ct.INT)])
+        with pytest.raises(SemanticError):
+            s.set_fields([("b", ct.INT)])
+
+    def test_structs_use_nominal_identity(self):
+        a = ct.StructType("same")
+        a.set_fields([("x", ct.INT)])
+        b = ct.StructType("same")
+        b.set_fields([("x", ct.INT)])
+        assert a != b
+        assert a == a
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value, alignment, expected",
+        [(0, 8, 0), (1, 8, 8), (8, 8, 8), (9, 8, 16), (15, 16, 16), (5, 1, 5)],
+    )
+    def test_align_up(self, value, alignment, expected):
+        assert ct.align_up(value, alignment) == expected
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            ct.align_up(3, 0)
+
+
+class TestArithmeticConversions:
+    def test_float_dominates(self):
+        assert ct.common_arithmetic_type(ct.INT, ct.DOUBLE) == ct.DOUBLE
+        assert ct.common_arithmetic_type(ct.FLOAT, ct.LONG) == ct.FLOAT
+
+    def test_wider_integer_wins(self):
+        assert ct.common_arithmetic_type(ct.INT, ct.LONG) == ct.LONG
+        assert ct.common_arithmetic_type(ct.SHORT, ct.INT) == ct.INT
+
+    def test_promotion_to_int(self):
+        assert ct.integer_promote(ct.CHAR) == ct.INT
+        assert ct.integer_promote(ct.SHORT) == ct.INT
+        assert ct.integer_promote(ct.LONG) == ct.LONG
+
+    def test_unsigned_wins_at_equal_width(self):
+        result = ct.common_arithmetic_type(ct.INT, ct.UINT)
+        assert result == ct.UINT
+
+    def test_char_plus_char_promotes(self):
+        assert ct.common_arithmetic_type(ct.CHAR, ct.CHAR) == ct.INT
+
+    def test_non_arithmetic_rejected(self):
+        with pytest.raises(SemanticError):
+            ct.common_arithmetic_type(ct.PointerType(ct.INT), ct.INT)

@@ -1,0 +1,138 @@
+"""Memory model unit tests: segments, permissions, faults, accounting."""
+
+import pytest
+
+from repro.errors import VMFault
+from repro.vm.memory import (
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    RODATA_BASE,
+    STACK_TOP,
+    Memory,
+)
+
+
+@pytest.fixture
+def memory():
+    m = Memory()
+    m.install("data", b"\x00" * 64)
+    m.install("rodata", b"const!")
+    return m
+
+
+class TestSegments:
+    def test_segment_layout_is_disjoint(self, memory):
+        assert CODE_BASE < RODATA_BASE < DATA_BASE < HEAP_BASE < STACK_TOP
+
+    def test_data_read_write(self, memory):
+        memory.write_bytes(DATA_BASE, b"hello")
+        assert memory.read_bytes(DATA_BASE, 5) == b"hello"
+
+    def test_rodata_readable(self, memory):
+        assert memory.read_bytes(RODATA_BASE, 6) == b"const!"
+
+    def test_rodata_write_faults(self, memory):
+        with pytest.raises(VMFault) as excinfo:
+            memory.write_bytes(RODATA_BASE, b"X")
+        assert excinfo.value.kind == "write-to-readonly"
+
+    def test_loader_bypass_for_rodata(self, memory):
+        with memory.unprotected():
+            memory.write_bytes(RODATA_BASE, b"B")
+        assert memory.read_bytes(RODATA_BASE, 1) == b"B"
+
+    def test_stack_read_write(self, memory):
+        address = STACK_TOP - 128
+        memory.write_bytes(address, b"\x01\x02")
+        assert memory.read_bytes(address, 2) == b"\x01\x02"
+
+    def test_null_page_faults(self, memory):
+        with pytest.raises(VMFault) as excinfo:
+            memory.read_bytes(0, 1)
+        assert excinfo.value.kind == "null-deref"
+
+    def test_unmapped_faults(self, memory):
+        with pytest.raises(VMFault) as excinfo:
+            memory.read_bytes(0x7000_0000, 1)
+        assert excinfo.value.kind == "unmapped"
+
+    def test_cross_boundary_access_faults(self, memory):
+        end_of_data = DATA_BASE + 64
+        with pytest.raises(VMFault):
+            memory.read_bytes(end_of_data - 2, 8)
+
+    def test_negative_length_faults(self, memory):
+        with pytest.raises(VMFault):
+            memory.read_bytes(DATA_BASE, -1)
+
+    def test_zero_length_ok(self, memory):
+        assert memory.read_bytes(DATA_BASE, 0) == b""
+        memory.write_bytes(DATA_BASE, b"")  # no-op
+
+
+class TestTypedAccess:
+    def test_little_endian_ints(self, memory):
+        memory.write_int(DATA_BASE, 0x0102, 4)
+        assert memory.read_bytes(DATA_BASE, 4) == b"\x02\x01\x00\x00"
+
+    def test_signed_roundtrip(self, memory):
+        memory.write_int(DATA_BASE, -1, 8)
+        assert memory.read_int(DATA_BASE, 8, signed=True) == -1
+        assert memory.read_int(DATA_BASE, 8, signed=False) == 2**64 - 1
+
+    def test_truncation_on_write(self, memory):
+        memory.write_int(DATA_BASE, 0x1_FF, 1)
+        assert memory.read_int(DATA_BASE, 1, signed=False) == 0xFF
+
+    def test_float_roundtrip(self, memory):
+        memory.write_float(DATA_BASE, 1.5, 8)
+        assert memory.read_float(DATA_BASE, 8) == 1.5
+
+    def test_float32_rounds(self, memory):
+        memory.write_float(DATA_BASE, 1.1, 4)
+        value = memory.read_float(DATA_BASE, 4)
+        assert value != 1.1 and abs(value - 1.1) < 1e-6
+
+    def test_cstring(self, memory):
+        memory.write_bytes(DATA_BASE, b"abc\x00def")
+        assert memory.read_cstring(DATA_BASE) == b"abc"
+
+
+class TestHeap:
+    def test_heap_grow_sequential(self, memory):
+        a = memory.heap_grow(32)
+        b = memory.heap_grow(16)
+        assert b == a + 32
+
+    def test_heap_out_of_memory(self, memory):
+        with pytest.raises(VMFault) as excinfo:
+            memory.heap_grow(0x1000_0000)
+        assert excinfo.value.kind == "out-of-memory"
+
+
+class TestAccounting:
+    def test_max_rss_counts_segments(self, memory):
+        base = memory.max_rss_bytes()
+        memory.heap_grow(1024)
+        assert memory.max_rss_bytes() == base + 1024
+
+    def test_stack_high_water(self, memory):
+        before = memory.max_rss_bytes()
+        memory.touch_stack(STACK_TOP - 4096)
+        assert memory.max_rss_bytes() - before == 4096
+        # Shallower touches do not reduce the high-water mark.
+        memory.touch_stack(STACK_TOP - 16)
+        assert memory.max_rss_bytes() - before == 4096
+
+    def test_stack_overflow_detected(self, memory):
+        with pytest.raises(VMFault) as excinfo:
+            memory.touch_stack(memory.stack.base - 1)
+        assert excinfo.value.kind == "stack-overflow"
+
+    def test_writable_ranges_exclude_rodata(self, memory):
+        ranges = memory.writable_ranges()
+        assert not any(
+            base <= RODATA_BASE < end for base, end in ranges
+        )
+        assert any(base <= DATA_BASE < end for base, end in ranges)

@@ -1,0 +1,136 @@
+"""VM value-semantics tests: the cast/compare/arithmetic matrix."""
+
+import pytest
+
+from repro.errors import VMError, VMTrap
+from repro.minic import types as ct
+from repro.vm.interpreter import _apply_binop, _apply_cast, _apply_cmp, _wrap_int
+
+
+class TestWrapInt:
+    @pytest.mark.parametrize(
+        "value, ctype, expected",
+        [
+            (256, ct.UCHAR, 0),
+            (255, ct.UCHAR, 255),
+            (128, ct.CHAR, -128),
+            (-129, ct.CHAR, 127),
+            (2**31, ct.INT, -(2**31)),
+            (2**32 + 5, ct.UINT, 5),
+            (-1, ct.ULONG, 2**64 - 1),
+        ],
+    )
+    def test_wrapping(self, value, ctype, expected):
+        assert _wrap_int(value, ctype) == expected
+
+
+class TestBinops:
+    def test_unsigned_division(self):
+        # -2 as u32 is 4294967294; dividing by 3 in unsigned space.
+        assert _apply_binop("udiv", -2, 3, ct.UINT) == (2**32 - 2) // 3
+
+    def test_unsigned_remainder(self):
+        assert _apply_binop("urem", -2, 5, ct.UINT) == (2**32 - 2) % 5
+
+    def test_signed_division_by_zero_traps(self):
+        with pytest.raises(VMTrap):
+            _apply_binop("sdiv", 5, 0, ct.INT)
+        with pytest.raises(VMTrap):
+            _apply_binop("urem", 5, 0, ct.INT)
+
+    def test_shift_masks_count(self):
+        # Shift counts wrap at the type width, like x86.
+        assert _apply_binop("shl", 1, 33, ct.INT) == 2
+        assert _apply_binop("shl", 1, 65, ct.LONG) == 2
+
+    def test_logical_vs_arithmetic_shift(self):
+        assert _apply_binop("ashr", -8, 1, ct.INT) == -4
+        assert _apply_binop("lshr", -8, 1, ct.INT) == (2**32 - 8) >> 1
+
+    def test_float_division_by_zero_is_infinite(self):
+        assert _apply_binop("fdiv", 1.0, 0.0, ct.DOUBLE) == float("inf")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(VMError):
+            _apply_binop("xyz", 1, 2, ct.INT)
+
+
+class TestCmp:
+    def test_signed_vs_unsigned_comparison(self):
+        assert _apply_cmp("slt", -1, 0, ct.INT) == 1
+        assert _apply_cmp("ult", -1, 0, ct.INT) == 0  # -1 is huge unsigned
+
+    def test_pointer_comparison_unsigned(self):
+        p = ct.PointerType(ct.CHAR)
+        assert _apply_cmp("ult", 0x1000, 0x2000, p) == 1
+
+    def test_float_predicates(self):
+        assert _apply_cmp("fle", 1.5, 1.5, ct.DOUBLE) == 1
+        assert _apply_cmp("fne", 1.5, 2.5, ct.DOUBLE) == 1
+
+    def test_equality(self):
+        assert _apply_cmp("eq", 7, 7, ct.INT) == 1
+        assert _apply_cmp("ne", 7, 8, ct.INT) == 1
+
+
+class TestCasts:
+    def test_trunc(self):
+        assert _apply_cast("trunc", 0x1FF, ct.INT, ct.CHAR) == -1
+
+    def test_sext_preserves_sign(self):
+        assert _apply_cast("sext", -5, ct.INT, ct.LONG) == -5
+
+    def test_zext_reinterprets_unsigned(self):
+        assert _apply_cast("zext", -1, ct.INT, ct.LONG) == 2**32 - 1
+
+    def test_fptosi_truncates_toward_zero(self):
+        assert _apply_cast("fptosi", 3.9, ct.DOUBLE, ct.INT) == 3
+        assert _apply_cast("fptosi", -3.9, ct.DOUBLE, ct.INT) == -3
+
+    def test_sitofp_and_uitofp(self):
+        assert _apply_cast("sitofp", -2, ct.INT, ct.DOUBLE) == -2.0
+        assert _apply_cast("uitofp", -1, ct.INT, ct.DOUBLE) == float(2**32 - 1)
+
+    def test_fptrunc_rounds_to_f32(self):
+        narrowed = _apply_cast("fptrunc", 1.1, ct.DOUBLE, ct.FLOAT)
+        assert narrowed != 1.1
+        assert abs(narrowed - 1.1) < 1e-6
+
+    def test_ptr_int_roundtrip(self):
+        p = ct.PointerType(ct.INT)
+        as_int = _apply_cast("ptrtoint", 0xDEAD, p, ct.LONG)
+        assert _apply_cast("inttoptr", as_int, ct.LONG, p) == 0xDEAD
+
+    def test_unknown_cast_rejected(self):
+        with pytest.raises(VMError):
+            _apply_cast("teleport", 1, ct.INT, ct.LONG)
+
+
+class TestEndToEndSemantics:
+    """Program-level checks of the same semantics."""
+
+    def run_expr(self, expression, prelude=""):
+        from repro.core.pipeline import compile_source
+        from repro.vm import Machine
+
+        source = "int main() { %s return (int)(%s); }" % (prelude, expression)
+        result = Machine(compile_source(source)).run()
+        assert result.finished_cleanly()
+        return result.exit_code
+
+    def test_mixed_signedness_comparison(self):
+        assert self.run_expr("u > 100", "unsigned int u = 0; u = u - 1;") == 1
+
+    def test_char_sign_extension_through_arithmetic(self):
+        assert self.run_expr("c + 0", "char c = (char)200;") == 200 - 256
+
+    def test_unsigned_char_stays_positive(self):
+        assert self.run_expr("c + 0", "unsigned char c = (unsigned char)200;") == 200
+
+    def test_long_shift_chain(self):
+        assert self.run_expr("(1 << 20) >> 10") == 1024
+
+    def test_float_to_int_conversion(self):
+        assert self.run_expr(
+            "d", "double x = (double)7 / (double)2; int d = (int)x;"
+        ) == 3
