@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Self-speed benchmark: how fast is the reproduction's own machinery?
+
+Measures the three hot paths the fast-path engine targets and writes
+``BENCH_selfspeed.json`` so the performance trajectory is tracked across
+changes:
+
+* **interpreter** — interpreted instructions/sec under the predecoded
+  dispatch, against the ``fast_dispatch=False`` executor-table path
+  (identical ExecutionResult required; the script asserts it);
+* **aes** — T-table AES blocks/sec against the byte-level FIPS-197
+  reference implementation;
+* **suite** — wall-clock for a Figure-3-style measurement campaign
+  under the current harness (single parse per workload, predecoded
+  dispatch, T-table AES, optional ``--jobs``) against an emulation of
+  the pre-fast-path harness (per-build re-parse, executor-table
+  dispatch, byte-level AES, serial).
+
+None of this touches the *measured* guest cycle counts, which are
+deterministic and dispatch-independent.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_selfspeed.py [--quick] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchsuite import runner  # noqa: E402
+from repro.benchsuite.programs import get_workload  # noqa: E402
+from repro.core.pipeline import compile_source, harden_source  # noqa: E402
+from repro.rng import aes  # noqa: E402
+from repro.vm.interpreter import Machine  # noqa: E402
+
+#: Workload exercising heavy straight-line interpretation.
+DISPATCH_WORKLOAD = "bzip2"
+DISPATCH_WORKLOAD_QUICK = "libquantum"
+
+#: Suite subset: call-heavy (perlbench exercises the RNG via frequent
+#: prologues) plus loop-heavy, under schemes that include real AES.
+SUITE_WORKLOADS = ["perlbench", "bzip2", "sjeng", "libquantum"]
+SUITE_WORKLOADS_QUICK = ["sjeng", "libquantum"]
+SUITE_SCHEMES = ("pseudo", "aes-1", "aes-10")
+SUITE_SCHEMES_QUICK = ("aes-10",)
+
+AES_BLOCKS = 8192
+AES_BLOCKS_QUICK = 1024
+
+
+def bench_interpreter(workload_name: str) -> dict:
+    workload = get_workload(workload_name)
+    module_fast = compile_source(workload.source, workload.name)
+    module_slow = compile_source(workload.source, workload.name)
+
+    start = time.perf_counter()
+    fast = Machine(
+        module_fast, inputs=list(workload.inputs), fast_dispatch=True
+    ).run()
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = Machine(
+        module_slow, inputs=list(workload.inputs), fast_dispatch=False
+    ).run()
+    slow_seconds = time.perf_counter() - start
+
+    for field in ("outcome", "exit_code", "steps", "cycles", "int_outputs",
+                  "str_outputs", "max_rss"):
+        if getattr(fast, field) != getattr(slow, field):
+            raise SystemExit(
+                f"dispatch mismatch on {workload_name}.{field}: "
+                f"{getattr(fast, field)!r} != {getattr(slow, field)!r}"
+            )
+    return {
+        "workload": workload_name,
+        "steps": fast.steps,
+        "fast_seconds": round(fast_seconds, 4),
+        "slow_seconds": round(slow_seconds, 4),
+        "fast_instr_per_sec": round(fast.steps / fast_seconds),
+        "slow_instr_per_sec": round(slow.steps / slow_seconds),
+        "speedup": round(slow_seconds / fast_seconds, 2),
+    }
+
+
+def bench_aes(block_count: int) -> dict:
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    blocks = [i.to_bytes(16, "little") for i in range(block_count)]
+    cipher = aes.AES128(key)
+    round_keys = aes.expand_key(key)
+
+    start = time.perf_counter()
+    fast_out = [cipher.encrypt(block) for block in blocks]
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference_out = [aes.encrypt_block(block, round_keys) for block in blocks]
+    reference_seconds = time.perf_counter() - start
+
+    if fast_out != reference_out:
+        raise SystemExit("T-table AES disagrees with the reference implementation")
+    return {
+        "blocks": block_count,
+        "ttable_blocks_per_sec": round(block_count / fast_seconds),
+        "reference_blocks_per_sec": round(block_count / reference_seconds),
+        "speedup": round(reference_seconds / fast_seconds, 2),
+    }
+
+
+def _measure_suite_legacy(names, schemes) -> None:
+    """The pre-fast-path harness, faithfully re-enacted.
+
+    Per-build re-parse (baseline and hardened each compile from source),
+    executor-table dispatch, serial execution — and byte-level AES, which
+    the caller arranges by patching ``AES128.encrypt`` around this call.
+    """
+    for name in names:
+        workload = get_workload(name)
+        baseline = runner.run_baseline(workload, fast_dispatch=False)
+        hardened = harden_source(workload.source, None, workload.name)
+        for scheme in schemes:
+            run = runner.run_hardened(
+                hardened, workload, scheme, fast_dispatch=False
+            )
+            assert run.int_outputs == baseline.int_outputs
+
+
+def bench_suite(names, schemes, jobs: int) -> dict:
+    start = time.perf_counter()
+    results = runner.measure_suite(names, schemes=schemes, jobs=jobs)
+    fast_seconds = time.perf_counter() - start
+
+    original_encrypt = aes.AES128.encrypt
+    aes.AES128.encrypt = lambda self, block: aes.encrypt_block(
+        block, self._round_keys
+    )
+    try:
+        start = time.perf_counter()
+        _measure_suite_legacy(names, schemes)
+        legacy_seconds = time.perf_counter() - start
+    finally:
+        aes.AES128.encrypt = original_encrypt
+
+    return {
+        "workloads": list(names),
+        "schemes": list(schemes),
+        "jobs": jobs,
+        "fast_seconds": round(fast_seconds, 3),
+        "legacy_seconds": round(legacy_seconds, 3),
+        "speedup": round(legacy_seconds / fast_seconds, 2),
+        "phase_seconds": {
+            phase: round(seconds, 3)
+            for phase, seconds in results.phase_seconds.items()
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads/schemes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width for the suite measurement (default serial)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_selfspeed.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    dispatch_workload = (
+        DISPATCH_WORKLOAD_QUICK if args.quick else DISPATCH_WORKLOAD
+    )
+    suite_names = SUITE_WORKLOADS_QUICK if args.quick else SUITE_WORKLOADS
+    suite_schemes = SUITE_SCHEMES_QUICK if args.quick else SUITE_SCHEMES
+    aes_blocks = AES_BLOCKS_QUICK if args.quick else AES_BLOCKS
+
+    report = {
+        "quick": args.quick,
+        "interpreter": bench_interpreter(dispatch_workload),
+        "aes": bench_aes(aes_blocks),
+        "suite": bench_suite(suite_names, suite_schemes, args.jobs),
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    interp = report["interpreter"]
+    aes_report = report["aes"]
+    suite = report["suite"]
+    print(f"interpreter: {interp['fast_instr_per_sec']:,} instr/sec "
+          f"({interp['speedup']}x over executor-table dispatch)")
+    print(f"aes:         {aes_report['ttable_blocks_per_sec']:,} blocks/sec "
+          f"({aes_report['speedup']}x over byte-level reference)")
+    print(f"suite:       {suite['fast_seconds']}s vs legacy "
+          f"{suite['legacy_seconds']}s ({suite['speedup']}x)")
+    print(f"report:      {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,15 +12,39 @@ then executes both on the deterministic VM, the hardened build once per
 randomness scheme.  Overhead is the cycle-count ratio; memory overhead is
 the max-RSS ratio (the P-BOX lands in rodata and is part of the image).
 Outputs are also compared: a hardened binary must behave identically.
+
+Harness performance (not to be confused with the *measured* cycle
+counts, which are deterministic and unaffected):
+
+* each workload's source is parsed **once**; the same AST is lowered
+  twice — the baseline build and the build handed to the hardening
+  passes (which mutate their module in place);
+* ``measure_suite(jobs=N)`` fans independent workloads out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The default stays
+  serial: results are deterministic either way (each workload is
+  self-contained), but serial keeps the harness dependency-free for
+  debugging and profiling;
+* every measurement records wall-clock per phase (compile / harden /
+  execute) via :class:`repro.perf.PhaseTimer`; the suite aggregates
+  them into :attr:`SuiteResults.phase_seconds`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
 
 from repro.core.config import SmokestackConfig
-from repro.core.pipeline import HardenedProgram, compile_source, harden_source
+from repro.core.pipeline import (
+    HardenedProgram,
+    compile_source,
+    harden_module,
+    harden_source,
+    lower_ast,
+)
 from repro.errors import BenchmarkError
+from repro.minic import compile_to_ast
+from repro.perf import PhaseTimer
 from repro.rng.entropy import DeterministicEntropy
 from repro.rng.sources import SCHEME_NAMES, make_source
 from repro.benchsuite.programs import WORKLOADS, Workload, get_workload
@@ -47,6 +71,8 @@ class WorkloadMeasurement:
         self.baseline: Optional[RunMeasurement] = None
         self.hardened: Dict[str, RunMeasurement] = {}
         self.pbox_bytes = 0
+        #: host wall-clock seconds by phase: compile / harden / execute.
+        self.timings: Dict[str, float] = {}
 
     def overhead_pct(self, scheme: str) -> float:
         """Runtime overhead of ``scheme`` vs baseline, in percent."""
@@ -68,15 +94,23 @@ def run_baseline(
     workload: Workload,
     scheduling_effects: bool = False,
     opt_level: int = 0,
+    module=None,
+    fast_dispatch: bool = True,
 ) -> RunMeasurement:
-    """Execute the unhardened build (default stack protector on)."""
-    module = compile_source(workload.source, workload.name, opt_level=opt_level)
+    """Execute the unhardened build (default stack protector on).
+
+    ``module`` lets a caller that already compiled the workload (the
+    harness, which shares one parse across builds) skip recompilation.
+    """
+    if module is None:
+        module = compile_source(workload.source, workload.name, opt_level=opt_level)
     machine = Machine(
         module,
         inputs=list(workload.inputs),
         stack_protector=True,
         max_steps=BENCH_MAX_STEPS,
         scheduling_effects=scheduling_effects,
+        fast_dispatch=fast_dispatch,
     )
     return _run(machine, workload, "baseline")
 
@@ -87,6 +121,7 @@ def run_hardened(
     scheme: str,
     entropy_seed: int = 0,
     scheduling_effects: bool = False,
+    fast_dispatch: bool = True,
 ) -> RunMeasurement:
     """Execute the hardened build under one randomness scheme."""
     source = make_source(scheme, DeterministicEntropy(entropy_seed))
@@ -96,6 +131,7 @@ def run_hardened(
         rng_source=source,
         max_steps=BENCH_MAX_STEPS,
         scheduling_effects=scheduling_effects,
+        fast_dispatch=fast_dispatch,
     )
     return _run(machine, workload, scheme)
 
@@ -123,33 +159,50 @@ def measure_workload(
     scheduling_effects: bool = False,
     entropy_seed: int = 0,
     opt_level: int = 0,
+    fast_dispatch: bool = True,
 ) -> WorkloadMeasurement:
     """Baseline + hardened measurements for one workload.
 
     Verifies that every hardened run produces the same observable output
     (the printed checksums) as the baseline — layout randomization must
     be semantics-preserving.
+
+    The source is parsed once; the AST is lowered into two independent
+    modules (baseline, and the one the hardening passes mutate).
     """
     workload = get_workload(workload_name)
     measurement = WorkloadMeasurement(workload)
-    measurement.baseline = run_baseline(workload, scheduling_effects, opt_level)
-    hardened = harden_source(
-        workload.source, config, workload.name, opt_level=opt_level
-    )
+    timer = PhaseTimer()
+    with timer.phase("compile"):
+        ast = compile_to_ast(workload.source, workload.name)
+        baseline_module = lower_ast(ast, workload.name, opt_level=opt_level)
+        hardened_module = lower_ast(ast, workload.name, opt_level=opt_level)
+    with timer.phase("harden"):
+        hardened = harden_module(hardened_module, config)
     measurement.pbox_bytes = hardened.pbox_bytes()
-    for scheme in schemes:
-        run = run_hardened(
-            hardened, workload, scheme,
-            entropy_seed=entropy_seed,
-            scheduling_effects=scheduling_effects,
+    with timer.phase("execute"):
+        measurement.baseline = run_baseline(
+            workload,
+            scheduling_effects,
+            opt_level,
+            module=baseline_module,
+            fast_dispatch=fast_dispatch,
         )
-        if run.int_outputs != measurement.baseline.int_outputs:
-            raise BenchmarkError(
-                f"hardened '{workload_name}' under {scheme} changed the "
-                f"program output: {run.int_outputs} vs "
-                f"{measurement.baseline.int_outputs}"
+        for scheme in schemes:
+            run = run_hardened(
+                hardened, workload, scheme,
+                entropy_seed=entropy_seed,
+                scheduling_effects=scheduling_effects,
+                fast_dispatch=fast_dispatch,
             )
-        measurement.hardened[scheme] = run
+            if run.int_outputs != measurement.baseline.int_outputs:
+                raise BenchmarkError(
+                    f"hardened '{workload_name}' under {scheme} changed the "
+                    f"program output: {run.int_outputs} vs "
+                    f"{measurement.baseline.int_outputs}"
+                )
+            measurement.hardened[scheme] = run
+    measurement.timings = timer.totals()
     return measurement
 
 
@@ -159,9 +212,15 @@ class SuiteResults:
     def __init__(self, schemes: Sequence[str]):
         self.schemes = list(schemes)
         self.measurements: Dict[str, WorkloadMeasurement] = {}
+        #: aggregated host wall-clock seconds per phase across workloads
+        #: (compile / harden / execute); parallel runs sum child-process
+        #: time, so this tracks work done, not elapsed wall-clock.
+        self.phase_seconds: Dict[str, float] = {}
 
     def add(self, measurement: WorkloadMeasurement) -> None:
         self.measurements[measurement.workload.name] = measurement
+        for phase, seconds in measurement.timings.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
     def workloads(self) -> List[str]:
         return list(self.measurements)
@@ -199,18 +258,33 @@ def measure_suite(
     config: Optional[SmokestackConfig] = None,
     scheduling_effects: bool = False,
     entropy_seed: int = 0,
+    jobs: int = 1,
+    fast_dispatch: bool = True,
 ) -> SuiteResults:
-    """Run the full Figure 3/4 measurement campaign."""
+    """Run the full Figure 3/4 measurement campaign.
+
+    ``jobs > 1`` distributes workloads over a process pool.  Every
+    workload measurement is self-contained and deterministic, so the
+    parallel results are identical to serial ones; they are folded back
+    in input order either way.
+    """
     names = list(workload_names) if workload_names is not None else list(WORKLOADS)
     results = SuiteResults(schemes)
-    for name in names:
-        results.add(
-            measure_workload(
-                name,
-                schemes=schemes,
-                config=config,
-                scheduling_effects=scheduling_effects,
-                entropy_seed=entropy_seed,
-            )
-        )
+    kwargs = dict(
+        schemes=tuple(schemes),
+        config=config,
+        scheduling_effects=scheduling_effects,
+        entropy_seed=entropy_seed,
+        fast_dispatch=fast_dispatch,
+    )
+    if jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(measure_workload, name, **kwargs) for name in names
+            ]
+            for future in futures:  # in input order, for determinism
+                results.add(future.result())
+    else:
+        for name in names:
+            results.add(measure_workload(name, **kwargs))
     return results

@@ -21,6 +21,22 @@ from repro.rng.sources import make_source
 from repro.vm.interpreter import Machine
 
 
+def lower_ast(ast, name: str = "program", opt_level: int = 0) -> Module:
+    """Lower an already-parsed AST (+ optimizer) into a fresh module.
+
+    Lowering never mutates the AST, so one parse can feed several
+    independent builds — the benchmark harness lowers the same AST once
+    for the baseline and once for the build it hands to the hardening
+    passes (which *do* mutate their module).
+    """
+    module = lower(ast, name)
+    if opt_level:
+        from repro.opt import optimize
+
+        optimize(module, opt_level)
+    return module
+
+
 def compile_source(source: str, name: str = "program", opt_level: int = 0) -> Module:
     """Front-end + lowering (+ optimizer): the unhardened baseline module.
 
@@ -28,12 +44,7 @@ def compile_source(source: str, name: str = "program", opt_level: int = 0) -> Mo
     ``opt_level=2`` runs mem2reg and the cleanup passes, reproducing the
     register-resident frames of the paper's ``-O2`` testbed.
     """
-    module = lower(compile_to_ast(source, name), name)
-    if opt_level:
-        from repro.opt import optimize
-
-        optimize(module, opt_level)
-    return module
+    return lower_ast(compile_to_ast(source, name), name, opt_level=opt_level)
 
 
 class HardenedProgram:

@@ -1,0 +1,11 @@
+"""Micro-timing utilities for the reproduction's own performance.
+
+Not to be confused with :mod:`repro.vm.costs`, which models the *guest's*
+cycle counts: this package times the *host* — how long the harness spends
+compiling, hardening and executing — so the evaluation loop's speed can
+be tracked across changes (see ``scripts/bench_selfspeed.py``).
+"""
+
+from repro.perf.timer import PhaseTimer
+
+__all__ = ["PhaseTimer"]

@@ -1,0 +1,50 @@
+"""Wall-clock phase timing for the measurement harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Re-entering a phase name adds to its running total, so one timer can
+    wrap a whole loop of compile/execute iterations::
+
+        timer = PhaseTimer()
+        with timer.phase("compile"):
+            module = compile_source(source)
+        with timer.phase("execute"):
+            Machine(module).run()
+        timer.totals()  # {"compile": ..., "execute": ...}
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def totals(self) -> Dict[str, float]:
+        """phase name -> accumulated seconds, in first-entered order."""
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's totals into this one (for parallel runs)."""
+        for name, seconds in other.totals().items():
+            self._totals[name] = self._totals.get(name, 0.0) + seconds

@@ -7,15 +7,28 @@ both the standard 10-round AES-128 ("AES-10", high security) and a
 weakened 1-round variant ("AES-1", low security but faster); the
 ``rounds`` parameter reproduces that trade-off.
 
-The implementation is the textbook FIPS-197 construction: SubBytes,
-ShiftRows, MixColumns, AddRoundKey, with the key schedule expanded up
-front.  It is validated against the FIPS-197 appendix test vector in the
-test suite.
+Two implementations live side by side:
+
+* :func:`encrypt_block` — the textbook FIPS-197 construction (SubBytes,
+  ShiftRows, MixColumns, AddRoundKey, byte by byte).  It is the
+  *reference*: validated against the FIPS-197 appendix vector in the
+  test suite, and used to cross-check the fast path.
+* :class:`AES128` / :func:`encrypt_block_fast` — the T-table
+  formulation every serious software AES uses: SubBytes + ShiftRows +
+  MixColumns for one round collapse into four 256-entry tables of
+  packed 32-bit column words, so a round is 16 table lookups and XORs
+  instead of ~80 per-byte GF(2^8) operations.  The final round (no
+  MixColumns) uses the plain S-box.
+
+Key schedules are cached at module level keyed by ``(key, rounds)`` —
+CTR mode reseeds periodically but encrypts many blocks per key, and the
+Smokestack harness builds many generators from the same deterministic
+entropy stream, so the same key must never be expanded twice.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 # S-box (FIPS-197 figure 7).
 SBOX = bytes(
@@ -72,6 +85,120 @@ def expand_key(key: bytes, rounds: int = STANDARD_ROUNDS) -> List[bytes]:
     return [b"".join(words[4 * r : 4 * r + 4]) for r in range(rounds + 1)]
 
 
+# -- T-tables ----------------------------------------------------------------
+#
+# State is column-major (byte r + 4c is row r, column c); a column packs
+# big-endian as (row0 << 24) | (row1 << 16) | (row2 << 8) | row3.  The
+# MixColumns matrix column for an input byte in row r gives the packing:
+# row-0 inputs contribute (2S, S, S, 3S), row-1 (3S, 2S, S, S), row-2
+# (S, 3S, 2S, S), row-3 (S, S, 3S, 2S) — each table is the previous one
+# rotated by a byte.
+
+_T0: List[int] = []
+_T1: List[int] = []
+_T2: List[int] = []
+_T3: List[int] = []
+for _x in range(256):
+    _s = SBOX[_x]
+    _s2 = _xtime(_s)
+    _s3 = _s2 ^ _s
+    _T0.append((_s2 << 24) | (_s << 16) | (_s << 8) | _s3)
+    _T1.append((_s3 << 24) | (_s2 << 16) | (_s << 8) | _s)
+    _T2.append((_s << 24) | (_s3 << 16) | (_s2 << 8) | _s)
+    _T3.append((_s << 24) | (_s << 16) | (_s3 << 8) | _s2)
+del _x, _s, _s2, _s3
+
+
+def _schedule_words(round_keys: List[bytes]) -> List[Tuple[int, ...]]:
+    """Round keys as big-endian 32-bit column words for the T-table path."""
+    return [
+        tuple(
+            int.from_bytes(round_key[column : column + 4], "big")
+            for column in (0, 4, 8, 12)
+        )
+        for round_key in round_keys
+    ]
+
+
+#: (key, rounds) -> (round_keys, schedule_words).  Bounded: CTR reseeds
+#: draw fresh random keys, so a pathological run could otherwise grow the
+#: cache without limit.
+_SCHEDULE_CACHE: Dict[Tuple[bytes, int], Tuple[List[bytes], List[Tuple[int, ...]]]] = {}
+_SCHEDULE_CACHE_LIMIT = 1024
+
+
+def cached_schedule(
+    key: bytes, rounds: int = STANDARD_ROUNDS
+) -> Tuple[List[bytes], List[Tuple[int, ...]]]:
+    """The expanded schedule for ``(key, rounds)``, expanding at most once."""
+    cache_key = (bytes(key), rounds)
+    entry = _SCHEDULE_CACHE.get(cache_key)
+    if entry is None:
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_LIMIT:
+            _SCHEDULE_CACHE.clear()
+        round_keys = expand_key(key, rounds)
+        entry = (round_keys, _schedule_words(round_keys))
+        _SCHEDULE_CACHE[cache_key] = entry
+    return entry
+
+
+def encrypt_block_fast(block: bytes, schedule_words: List[Tuple[int, ...]]) -> bytes:
+    """T-table encryption under a :func:`_schedule_words` schedule.
+
+    Bit-for-bit equivalent to :func:`encrypt_block`; the test suite
+    checks the two against each other across round counts and keys.
+    """
+    if len(block) != BLOCK_SIZE:
+        raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    rounds = len(schedule_words) - 1
+    k = schedule_words[0]
+    s0 = int.from_bytes(block[0:4], "big") ^ k[0]
+    s1 = int.from_bytes(block[4:8], "big") ^ k[1]
+    s2 = int.from_bytes(block[8:12], "big") ^ k[2]
+    s3 = int.from_bytes(block[12:16], "big") ^ k[3]
+    t0_, t1_, t2_, t3_ = _T0, _T1, _T2, _T3
+    for round_index in range(1, rounds):
+        k = schedule_words[round_index]
+        # ShiftRows: row r of column c reads column (c + r) mod 4.
+        t0 = t0_[s0 >> 24] ^ t1_[(s1 >> 16) & 0xFF] ^ t2_[(s2 >> 8) & 0xFF] ^ t3_[s3 & 0xFF] ^ k[0]
+        t1 = t0_[s1 >> 24] ^ t1_[(s2 >> 16) & 0xFF] ^ t2_[(s3 >> 8) & 0xFF] ^ t3_[s0 & 0xFF] ^ k[1]
+        t2 = t0_[s2 >> 24] ^ t1_[(s3 >> 16) & 0xFF] ^ t2_[(s0 >> 8) & 0xFF] ^ t3_[s1 & 0xFF] ^ k[2]
+        t3 = t0_[s3 >> 24] ^ t1_[(s0 >> 16) & 0xFF] ^ t2_[(s1 >> 8) & 0xFF] ^ t3_[s2 & 0xFF] ^ k[3]
+        s0, s1, s2, s3 = t0, t1, t2, t3
+    k = schedule_words[rounds]
+    sbox = SBOX
+    out0 = (
+        (sbox[s0 >> 24] << 24)
+        | (sbox[(s1 >> 16) & 0xFF] << 16)
+        | (sbox[(s2 >> 8) & 0xFF] << 8)
+        | sbox[s3 & 0xFF]
+    ) ^ k[0]
+    out1 = (
+        (sbox[s1 >> 24] << 24)
+        | (sbox[(s2 >> 16) & 0xFF] << 16)
+        | (sbox[(s3 >> 8) & 0xFF] << 8)
+        | sbox[s0 & 0xFF]
+    ) ^ k[1]
+    out2 = (
+        (sbox[s2 >> 24] << 24)
+        | (sbox[(s3 >> 16) & 0xFF] << 16)
+        | (sbox[(s0 >> 8) & 0xFF] << 8)
+        | sbox[s1 & 0xFF]
+    ) ^ k[2]
+    out3 = (
+        (sbox[s3 >> 24] << 24)
+        | (sbox[(s0 >> 16) & 0xFF] << 16)
+        | (sbox[(s1 >> 8) & 0xFF] << 8)
+        | sbox[s2 & 0xFF]
+    ) ^ k[3]
+    return (
+        out0.to_bytes(4, "big")
+        + out1.to_bytes(4, "big")
+        + out2.to_bytes(4, "big")
+        + out3.to_bytes(4, "big")
+    )
+
+
 def _sub_bytes(state: bytearray) -> None:
     for i in range(16):
         state[i] = SBOX[state[i]]
@@ -126,11 +253,15 @@ def encrypt_block(block: bytes, round_keys: List[bytes]) -> bytes:
 
 
 class AES128:
-    """Convenience wrapper binding a key and a round count."""
+    """Convenience wrapper binding a key and a round count.
+
+    Uses the T-table fast path and the module-level schedule cache; the
+    byte-level :func:`encrypt_block` remains available as the reference.
+    """
 
     def __init__(self, key: bytes, rounds: int = STANDARD_ROUNDS):
         self.rounds = rounds
-        self._round_keys = expand_key(key, rounds)
+        self._round_keys, self._schedule_words = cached_schedule(key, rounds)
 
     def encrypt(self, block: bytes) -> bytes:
-        return encrypt_block(block, self._round_keys)
+        return encrypt_block_fast(block, self._schedule_words)

@@ -15,6 +15,13 @@ benchmarks by changing instruction scheduling: a small deterministic
 per-function factor derived from the frame layout hash, in
 [-SCHED_JITTER, +SCHED_JITTER].  It is off by default and switched on
 only by the Figure 3 harness, and documented in EXPERIMENTS.md.
+
+Cycles are accumulated as integer *units* (``CYCLE_SCALE`` units per
+cycle) and converted to a float exactly once, when :attr:`CostModel.cycles`
+is read.  Integer addition is associative, so the fast (predecoded) and
+slow dispatch paths — which charge the same per-instruction units in a
+different evaluation order — produce bit-identical totals, and a run's
+cycle count cannot depend on float-summation order.
 """
 
 from __future__ import annotations
@@ -59,6 +66,13 @@ MEM_BYTES_PER_CYCLE = 8.0
 #: Relative amplitude of the optional scheduling perturbation.
 SCHED_JITTER = 0.03
 
+#: Integer cycle units per cycle.  A power of two keeps the common
+#: whole- and half-cycle costs exactly representable, so converting the
+#: unit total back to a float reproduces them without rounding, and the
+#: scale is fine enough (2^-30 cycles) that quantizing discounted or
+#: perturbed per-instruction costs stays far below any test tolerance.
+CYCLE_SCALE = 1 << 30
+
 #: Discount on instrumentation-emitted ("synthetic") instructions.  The
 #: interpreter charges serial per-instruction costs, but the Smokestack
 #: prologue the paper engineered (a mask, one cache-resident row load and
@@ -69,12 +83,19 @@ SCHED_JITTER = 0.03
 #: the model to that; disabling it is an ablation knob.
 SYNTHETIC_DISCOUNT = 0.15
 
+#: Fixed charges pre-converted to integer units.
+FRAME_SETUP_UNITS = round(FRAME_SETUP_COST * CYCLE_SCALE)
+FRAME_TEARDOWN_UNITS = round(FRAME_TEARDOWN_COST * CYCLE_SCALE)
+DYNAMIC_ALLOCA_UNITS = round(DYNAMIC_ALLOCA_COST * CYCLE_SCALE)
+BUILTIN_BASE_UNITS = round(BUILTIN_BASE_COST * CYCLE_SCALE)
+
 
 class CostModel:
     """Accumulates cycles for one simulation run."""
 
     def __init__(self, scheduling_effects: bool = False):
-        self.cycles = 0.0
+        #: integer cycle units; ``cycles`` converts once on read.
+        self.cycle_units = 0
         self.scheduling_effects = scheduling_effects
         self.synthetic_discount = SYNTHETIC_DISCOUNT
         #: distinguishes builds in the scheduling model ("base"/"ss"):
@@ -83,9 +104,19 @@ class CostModel:
         self.variant = "base"
         self._function_factor_cache: Dict[str, float] = {}
 
+    @property
+    def cycles(self) -> float:
+        return self.cycle_units / CYCLE_SCALE
+
     # -- charging -------------------------------------------------------------------
 
-    def charge_instruction(self, inst: ir.Instruction, function_key: str = "") -> None:
+    def instruction_units(self, inst: ir.Instruction, function_key: str = "") -> int:
+        """Integer cost of one executed instruction.
+
+        Both dispatch paths draw from here: the slow path per step, the
+        predecode pass once per decoded instruction — so the two cannot
+        disagree on any instruction's charge.
+        """
         name = type(inst).__name__
         cost = INSTRUCTION_COSTS.get(name, 1.0)
         if isinstance(inst, ir.BinOp):
@@ -97,22 +128,27 @@ class CostModel:
             cost *= self.synthetic_discount
         if self.scheduling_effects and function_key:
             cost *= self._factor(f"{self.variant}:{function_key}")
-        self.cycles += cost
+        return round(cost * CYCLE_SCALE)
+
+    def charge_instruction(self, inst: ir.Instruction, function_key: str = "") -> None:
+        self.cycle_units += self.instruction_units(inst, function_key)
 
     def charge(self, cycles: float) -> None:
-        self.cycles += cycles
+        self.cycle_units += round(cycles * CYCLE_SCALE)
 
     def charge_frame_setup(self) -> None:
-        self.cycles += FRAME_SETUP_COST
+        self.cycle_units += FRAME_SETUP_UNITS
 
     def charge_frame_teardown(self) -> None:
-        self.cycles += FRAME_TEARDOWN_COST
+        self.cycle_units += FRAME_TEARDOWN_UNITS
 
     def charge_dynamic_alloca(self) -> None:
-        self.cycles += DYNAMIC_ALLOCA_COST
+        self.cycle_units += DYNAMIC_ALLOCA_UNITS
 
     def charge_builtin(self, name: str, byte_count: int = 0) -> None:
-        self.cycles += BUILTIN_BASE_COST + byte_count / MEM_BYTES_PER_CYCLE
+        self.cycle_units += BUILTIN_BASE_UNITS + round(
+            byte_count / MEM_BYTES_PER_CYCLE * CYCLE_SCALE
+        )
 
     # -- scheduling perturbation ---------------------------------------------------------
 

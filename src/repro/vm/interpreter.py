@@ -44,6 +44,7 @@ from repro.ir.module import Function, Module
 from repro.ir.values import Argument, Constant, GlobalVariable, Value
 from repro.minic import types as ct
 from repro.vm.costs import CostModel
+from repro.vm.decode import Decoder, FellOffBlock
 from repro.vm.memory import STACK_TOP, Memory
 from repro.vm.process import ProcessImage, load
 
@@ -74,12 +75,15 @@ class Frame:
         "canary_addr",
         "sp",
         "call_site",
+        "code",
     )
 
     def __init__(self, function: Function):
         self.function = function
         self.block = function.entry
         self.inst_index = 0
+        #: predecoded step list for ``block`` (fast dispatch only)
+        self.code: Optional[list] = None
         self.env: Dict[Value, object] = {}
         self.alloca_addresses: Dict[ir.Alloca, int] = {}
         self.frame_base = 0
@@ -164,6 +168,12 @@ class Machine:
     scheduling_effects:
         Enables the deterministic per-function cost perturbation that
         models the paper's instruction-scheduling speedups (§V-A).
+    fast_dispatch:
+        Execute through the predecoded dispatch fast path
+        (:mod:`repro.vm.decode`): basic blocks are compiled once, on
+        first entry, into pre-bound step closures.  ``False`` falls back
+        to the original executor-table interpreter; both paths produce
+        bit-identical :class:`ExecutionResult` fields.
     """
 
     def __init__(
@@ -179,6 +189,7 @@ class Machine:
         canary_value: int = 0x00E2_57AC_CA0B_0A17,
         stack_base_offset: int = 0,
         record_frames: bool = False,
+        fast_dispatch: bool = True,
     ):
         if isinstance(image_or_module, Module):
             self.image = load(image_or_module)
@@ -212,8 +223,14 @@ class Machine:
         self._cookie_seed = 0x5EED_0001
         self._guest_rng_state = 0x9E3779B97F4A7C15
         self._heap_free: Dict[int, List[int]] = {}
+        # The module is frozen for the machine's lifetime, so the
+        # per-function alloca scan (which walks every instruction) can be
+        # done once instead of on every call.
+        self._static_allocas: Dict[Function, List[ir.Alloca]] = {}
         self._builtins = self._build_builtin_table()
         self._executors = self._build_executor_table()
+        self.fast_dispatch = fast_dispatch
+        self._decoder = Decoder(self) if fast_dispatch else None
 
     # -- public API -----------------------------------------------------------------
 
@@ -222,7 +239,10 @@ class Machine:
         function = self.module.get_function(entry)
         try:
             self._push_frame(function, list(args), call_site=None)
-            exit_value = self._execute_loop()
+            if self.fast_dispatch:
+                exit_value = self._execute_loop_fast()
+            else:
+                exit_value = self._execute_loop()
             self.result.outcome = "exit"
             self.result.exit_code = exit_value
         except VMFault as fault:
@@ -312,7 +332,11 @@ class Machine:
         if self.stack_protector:
             cursor -= 8
             frame.canary_addr = cursor
-        for alloca in function.static_allocas():
+        static_allocas = self._static_allocas.get(function)
+        if static_allocas is None:
+            static_allocas = function.static_allocas()
+            self._static_allocas[function] = static_allocas
+        for alloca in static_allocas:
             size = alloca.static_size()
             cursor -= size
             cursor = _align_down(cursor, alloca.align)
@@ -325,6 +349,8 @@ class Machine:
             self.memory.write_int(frame.canary_addr, self.canary_value, 8)
         for argument, value in zip(function.params, args):
             frame.env[argument] = value
+        if self._decoder is not None:
+            frame.code = self._decoder.code_for(frame.block, function)
         self.frames.append(frame)
         self._sp = frame.frame_base
         if self.record_frames:
@@ -398,6 +424,47 @@ class Machine:
             if executor is None:
                 raise VMError(f"no executor for {type(inst).__name__}")
             executor(frame, inst)
+        value = self._final_return
+        if value is None:
+            return 0
+        return int(value)
+
+    def _execute_loop_fast(self) -> Optional[int]:
+        """The predecoded fast path: one pre-bound closure per instruction.
+
+        Semantically identical to :meth:`_execute_loop`; the per-step
+        executor lookup, cost computation and operand resolution have all
+        been folded into the step closures by :class:`repro.vm.decode.Decoder`.
+        The step counter lives in a local and is synced back on every exit
+        path so ``run()`` (and fault results) still see an exact count.
+        """
+        self._final_return: Optional[object] = None
+        frames = self.frames
+        max_steps = self.max_steps
+        steps = self._steps
+        try:
+            while frames:
+                frame = frames[-1]
+                index = frame.inst_index
+                frame.inst_index = index + 1
+                steps += 1
+                if steps > max_steps:
+                    raise VMLimitExceeded(
+                        f"step limit of {self.max_steps} exceeded "
+                        f"(runaway loop or corrupted counter)"
+                    )
+                frame.code[index](frame)
+        except FellOffBlock:
+            # The sentinel fetch is not an executed instruction; undo its
+            # step so the count matches the slow path's bounds check.
+            steps -= 1
+            frame = frames[-1]
+            raise VMError(
+                f"fell off block '{frame.block.label}' in "
+                f"'{frame.function.name}'"
+            ) from None
+        finally:
+            self._steps = steps
         value = self._final_return
         if value is None:
             return 0

@@ -68,7 +68,7 @@ class Segment:
         return self.base + len(self.data)
 
     def contains(self, address: int, length: int = 1) -> bool:
-        return self.base <= address and address + length <= self.end
+        return self.base <= address and address + length <= self.base + len(self.data)
 
     def grow(self, new_size: int) -> None:
         if new_size > len(self.data):
@@ -85,6 +85,8 @@ class Memory:
         self.data = Segment("data", DATA_BASE, 0)
         self.heap = Segment("heap", HEAP_BASE, 0)
         self.stack = Segment("stack", stack_base, stack_limit)
+        #: cached for the typed-access fast paths (never changes).
+        self._stack_base = stack_base
         self._segments: List[Segment] = [
             self.code,
             self.rodata,
@@ -102,6 +104,26 @@ class Memory:
     # -- mapping helpers -----------------------------------------------------------
 
     def segment_for(self, address: int, length: int = 1) -> Segment:
+        # Hot path: pick the candidate segment by base address (bases are
+        # fixed and ordered), then bounds-check it once.  Stack and heap
+        # accesses — the overwhelming majority — hit in one comparison
+        # chain instead of a linear scan of all five segments.
+        if address >= self._stack_base:
+            segment = self.stack
+        elif address >= HEAP_BASE:
+            segment = self.heap
+        elif address >= DATA_BASE:
+            segment = self.data
+        elif address >= RODATA_BASE:
+            segment = self.rodata
+        else:
+            segment = self.code
+        if segment.base <= address and address + length <= segment.base + len(
+            segment.data
+        ):
+            return segment
+        # Miss: fall back to the exhaustive scan so diagnostics (and any
+        # future overlapping-growth corner case) match the original path.
         for segment in self._segments:
             if segment.contains(address, length):
                 return segment
@@ -141,22 +163,109 @@ class Memory:
     # -- typed access --------------------------------------------------------------------
 
     def read_int(self, address: int, size: int, signed: bool) -> int:
-        raw = self.read_bytes(address, size)
-        return int.from_bytes(raw, "little", signed=signed)
+        # Typed loads are the VM's hottest memory operation.  The fast
+        # paths below pick stack/heap/data by base address (always
+        # readable, bases fixed and ordered) and slice the bytearray
+        # directly; anything else — rodata/code reads, out-of-range
+        # addresses — falls through to the general path so permission
+        # checks and fault diagnostics are unchanged.
+        if address >= self._stack_base:
+            stack = self.stack
+            if address + size <= self._stack_base + len(stack.data):
+                offset = address - self._stack_base
+                return int.from_bytes(
+                    stack.data[offset : offset + size], "little", signed=signed
+                )
+        elif address >= HEAP_BASE:
+            heap = self.heap
+            if address + size <= HEAP_BASE + len(heap.data):
+                offset = address - HEAP_BASE
+                return int.from_bytes(
+                    heap.data[offset : offset + size], "little", signed=signed
+                )
+        elif address >= DATA_BASE:
+            data = self.data
+            if address + size <= DATA_BASE + len(data.data):
+                offset = address - DATA_BASE
+                return int.from_bytes(
+                    data.data[offset : offset + size], "little", signed=signed
+                )
+        segment = self.segment_for(address, size)
+        if not segment.readable:
+            raise VMFault("read-protected", address)
+        offset = address - segment.base
+        return int.from_bytes(
+            segment.data[offset : offset + size], "little", signed=signed
+        )
 
     def write_int(self, address: int, value: int, size: int) -> None:
+        # Mirrors read_int: stack/heap/data are always writable, so the
+        # in-range fast paths can skip the permission check.
+        if address >= self._stack_base:
+            stack = self.stack
+            if address + size <= self._stack_base + len(stack.data):
+                offset = address - self._stack_base
+                mask = (1 << (size * 8)) - 1
+                stack.data[offset : offset + size] = (value & mask).to_bytes(
+                    size, "little"
+                )
+                if address < self._stack_hwm_low:
+                    self._stack_hwm_low = address
+                return
+        elif address >= HEAP_BASE:
+            heap = self.heap
+            if address + size <= HEAP_BASE + len(heap.data):
+                offset = address - HEAP_BASE
+                mask = (1 << (size * 8)) - 1
+                heap.data[offset : offset + size] = (value & mask).to_bytes(
+                    size, "little"
+                )
+                return
+        elif address >= DATA_BASE:
+            data = self.data
+            if address + size <= DATA_BASE + len(data.data):
+                offset = address - DATA_BASE
+                mask = (1 << (size * 8)) - 1
+                data.data[offset : offset + size] = (value & mask).to_bytes(
+                    size, "little"
+                )
+                return
+        segment = self.segment_for(address, size)
+        if self._protect and not segment.writable:
+            raise VMFault("write-to-readonly", address)
+        offset = address - segment.base
         mask = (1 << (size * 8)) - 1
-        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+        segment.data[offset : offset + size] = (value & mask).to_bytes(
+            size, "little"
+        )
+        if segment is self.stack and address < self._stack_hwm_low:
+            self._stack_hwm_low = address
 
     def read_float(self, address: int, size: int) -> float:
-        raw = self.read_bytes(address, size)
-        return struct.unpack("<f" if size == 4 else "<d", raw)[0]
+        segment = self.segment_for(address, size)
+        if not segment.readable:
+            raise VMFault("read-protected", address)
+        offset = address - segment.base
+        return struct.unpack(
+            "<f" if size == 4 else "<d", segment.data[offset : offset + size]
+        )[0]
 
     def write_float(self, address: int, value: float, size: int) -> None:
         self.write_bytes(address, struct.pack("<f" if size == 4 else "<d", value))
 
     def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
         """Read a NUL-terminated byte string (faults propagate)."""
+        # Fast path: scan for the NUL with bytearray.find inside the
+        # containing segment.
+        segment = self.segment_for(address, 1)
+        if segment.readable:
+            offset = address - segment.base
+            end = min(offset + limit, len(segment.data))
+            nul = segment.data.find(0, offset, end)
+            if nul >= 0:
+                return bytes(segment.data[offset:nul])
+        # No terminator inside this segment (or unreadable): replay the
+        # byte-by-byte walk so faults land exactly as they always did.
         out = bytearray()
         cursor = address
         while len(out) < limit:

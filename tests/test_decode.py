@@ -1,0 +1,148 @@
+"""Predecoded-dispatch equivalence: fast and slow paths must agree bit-for-bit.
+
+The predecoded engine (:mod:`repro.vm.decode`) is a pure performance
+layer: for every program — including ones that fault, trap, or hit the
+step limit — it must produce exactly the ExecutionResult the
+executor-table dispatch produces.  These tests pin that down across the
+whole benchmark suite, hardened builds, and the error paths.
+"""
+
+import pytest
+
+from repro.benchsuite.programs import WORKLOADS, get_workload
+from repro.core.pipeline import compile_source, harden_source
+from repro.rng.entropy import DeterministicEntropy
+from repro.rng.sources import make_source
+from repro.vm.interpreter import Machine
+
+COMPARED_FIELDS = (
+    "outcome",
+    "exit_code",
+    "fault_kind",
+    "fault_address",
+    "violation_check",
+    "violation_function",
+    "error_message",
+    "steps",
+    "cycles",
+    "max_rss",
+    "int_outputs",
+    "str_outputs",
+    "call_counts",
+)
+
+
+def assert_identical(fast, slow, label):
+    for field in COMPARED_FIELDS:
+        assert getattr(fast, field) == getattr(slow, field), (
+            f"{label}: dispatch paths disagree on {field}: "
+            f"{getattr(fast, field)!r} != {getattr(slow, field)!r}"
+        )
+
+
+def run_both(source_text, inputs=(), max_steps=None, **kwargs):
+    results = []
+    for fast_dispatch in (True, False):
+        machine_kwargs = dict(kwargs, fast_dispatch=fast_dispatch)
+        if max_steps is not None:
+            machine_kwargs["max_steps"] = max_steps
+        machine = Machine(
+            compile_source(source_text),
+            inputs=list(inputs),
+            **machine_kwargs,
+        )
+        results.append(machine.run())
+    return results
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_baseline_bit_identical(self, name):
+        workload = get_workload(name)
+        fast, slow = (
+            Machine(
+                compile_source(workload.source, name),
+                inputs=list(workload.inputs),
+                fast_dispatch=fd,
+            ).run()
+            for fd in (True, False)
+        )
+        assert_identical(fast, slow, name)
+
+    @pytest.mark.parametrize("name", ["libquantum", "sjeng"])
+    def test_hardened_bit_identical(self, name):
+        workload = get_workload(name)
+        results = []
+        for fast_dispatch in (True, False):
+            hardened = harden_source(workload.source, None, name)
+            machine = Machine(
+                hardened.module,
+                inputs=list(workload.inputs),
+                rng_source=make_source("aes-10", DeterministicEntropy(0)),
+                fast_dispatch=fast_dispatch,
+            )
+            results.append(machine.run())
+        assert_identical(results[0], results[1], f"hardened {name}")
+
+
+class TestErrorPathEquivalence:
+    def test_fault_bit_identical(self):
+        fast, slow = run_both(
+            "int main() { int *p = (int *)0; return *p; }"
+        )
+        assert fast.outcome == "fault"
+        assert_identical(fast, slow, "null deref")
+
+    def test_trap_bit_identical(self):
+        fast, slow = run_both("int main() { return 1 / 0; }")
+        assert fast.outcome == "trap"
+        assert_identical(fast, slow, "div by zero")
+
+    def test_step_limit_bit_identical(self):
+        fast, slow = run_both(
+            "int main() { while (1) {} return 0; }", max_steps=10_000
+        )
+        assert fast.outcome == "limit"
+        assert_identical(fast, slow, "step limit")
+
+    def test_oob_stack_write_bit_identical(self):
+        # In-frame overflow: corrupts the neighbour, still exits cleanly.
+        source = """
+        int main() {
+            int buf[2];
+            int i;
+            for (i = 0; i < 3; i = i + 1) { buf[i] = 7; }
+            return buf[0];
+        }
+        """
+        fast, slow = run_both(source)
+        assert_identical(fast, slow, "stack overflow write")
+
+
+class TestDispatchToggle:
+    def test_fast_dispatch_default_on(self):
+        machine = Machine(compile_source("int main() { return 3; }"))
+        assert machine._decoder is not None
+        assert machine.run().exit_code == 3
+
+    def test_slow_dispatch_has_no_decoder(self):
+        machine = Machine(
+            compile_source("int main() { return 3; }"), fast_dispatch=False
+        )
+        assert machine._decoder is None
+        assert machine.run().exit_code == 3
+
+    def test_decoded_code_cached_per_block(self):
+        machine = Machine(
+            compile_source(
+                "int f(int x) { return x + 1; }"
+                "int main() { return f(1) + f(2) + f(3); }"
+            )
+        )
+        assert machine.run().exit_code == 9
+        decoder = machine._decoder
+        # Each executed block was decoded once into a cached step list.
+        assert decoder._cache
+        for block, code in decoder._cache.items():
+            # steps + the fell-off-block sentinel
+            assert len(code) == len(block.instructions) + 1

@@ -1,0 +1,95 @@
+"""Harness-performance layer: PhaseTimer, single-parse builds, jobs=N."""
+
+import pytest
+
+from repro.benchsuite import runner
+from repro.perf import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_accumulates_per_phase(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        totals = timer.totals()
+        assert set(totals) == {"a", "b"}
+        assert totals["a"] >= 0.0 and totals["b"] >= 0.0
+        assert timer.total() == pytest.approx(totals["a"] + totals["b"])
+
+    def test_accumulates_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("broken"):
+                raise ValueError("boom")
+        assert "broken" in timer.totals()
+
+    def test_merge(self):
+        one, two = PhaseTimer(), PhaseTimer()
+        with one.phase("x"):
+            pass
+        with two.phase("x"):
+            pass
+        with two.phase("y"):
+            pass
+        one.merge(two)
+        assert set(one.totals()) == {"x", "y"}
+
+
+class TestSingleParse:
+    def test_measure_workload_parses_source_once(self, monkeypatch):
+        calls = []
+        real_compile = runner.compile_to_ast
+
+        def counting_compile(source, name="program"):
+            calls.append(name)
+            return real_compile(source, name)
+
+        monkeypatch.setattr(runner, "compile_to_ast", counting_compile)
+        measurement = runner.measure_workload("libquantum", schemes=("pseudo",))
+        assert calls == ["libquantum"]
+        assert measurement.baseline is not None
+        assert "pseudo" in measurement.hardened
+
+    def test_timings_recorded(self):
+        measurement = runner.measure_workload("libquantum", schemes=("pseudo",))
+        assert set(measurement.timings) == {"compile", "harden", "execute"}
+        assert all(seconds >= 0.0 for seconds in measurement.timings.values())
+
+    def test_run_baseline_accepts_prebuilt_module(self):
+        from repro.core.pipeline import compile_source
+        from repro.benchsuite.programs import get_workload
+
+        workload = get_workload("libquantum")
+        module = compile_source(workload.source, workload.name)
+        prebuilt = runner.run_baseline(workload, module=module)
+        fresh = runner.run_baseline(workload)
+        assert prebuilt == fresh  # RunMeasurement is a NamedTuple
+
+
+class TestParallelSuite:
+    NAMES = ["libquantum", "sjeng"]
+    SCHEMES = ("pseudo",)
+
+    def test_parallel_equals_serial(self):
+        serial = runner.measure_suite(self.NAMES, schemes=self.SCHEMES, jobs=1)
+        parallel = runner.measure_suite(self.NAMES, schemes=self.SCHEMES, jobs=2)
+        assert serial.workloads() == parallel.workloads() == self.NAMES
+        for name in self.NAMES:
+            s, p = serial.measurements[name], parallel.measurements[name]
+            assert s.baseline == p.baseline
+            assert s.hardened == p.hardened
+            assert s.pbox_bytes == p.pbox_bytes
+
+    def test_suite_aggregates_phase_seconds(self):
+        results = runner.measure_suite(self.NAMES, schemes=self.SCHEMES)
+        assert set(results.phase_seconds) == {"compile", "harden", "execute"}
+        # Aggregate equals the per-workload sums.
+        for phase, total in results.phase_seconds.items():
+            parts = sum(
+                m.timings[phase] for m in results.measurements.values()
+            )
+            assert total == pytest.approx(parts)

@@ -185,3 +185,73 @@ class TestPseudoSourceInVm:
         machine2 = hardened.make_machine()
         machine2.memory.write_int(address, final_state, 8)
         assert PseudoSource().generate(machine2) == predicted
+
+
+class TestTTableAes:
+    def test_ttable_matches_reference_all_rounds(self):
+        import random
+
+        from repro.rng import aes as aes_mod
+
+        rng = random.Random(0xAE5)
+        for rounds in range(1, 11):
+            for _ in range(20):
+                key = rng.randbytes(16)
+                block = rng.randbytes(16)
+                round_keys = expand_key(key, rounds=rounds)
+                _, schedule = aes_mod.cached_schedule(key, rounds)
+                assert aes_mod.encrypt_block_fast(block, schedule) == \
+                    encrypt_block(block, round_keys), (rounds, key.hex())
+
+    def test_ttable_fips197_vector(self):
+        from repro.rng import aes as aes_mod
+
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        _, schedule = aes_mod.cached_schedule(key, 10)
+        assert aes_mod.encrypt_block_fast(plaintext, schedule) == \
+            bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestScheduleCache:
+    def test_expand_key_called_once_per_key(self, monkeypatch):
+        # The reduced-round AES source builds a cipher per reseed; the
+        # schedule cache must collapse that to one expansion per distinct
+        # (key, rounds).  Unique keys, because the cache is module-level
+        # and persists across tests.
+        from repro.rng import aes as aes_mod
+
+        calls = []
+        real_expand = aes_mod.expand_key
+
+        def counting_expand(key, rounds=10):
+            calls.append((bytes(key), rounds))
+            return real_expand(key, rounds)
+
+        monkeypatch.setattr(aes_mod, "expand_key", counting_expand)
+        key_a = b"schedule-once-A!"
+        key_b = b"schedule-once-B!"
+        for _ in range(5):
+            AES128(key_a)
+            AES128(key_a, rounds=1)
+            AES128(key_b)
+        assert calls.count((key_a, 10)) == 1
+        assert calls.count((key_a, 1)) == 1
+        assert calls.count((key_b, 10)) == 1
+        assert len(calls) == 3
+
+    def test_cached_schedule_shares_objects(self):
+        from repro.rng import aes as aes_mod
+
+        key = bytes(range(32, 48))
+        first = aes_mod.cached_schedule(key, 10)
+        second = aes_mod.cached_schedule(key, 10)
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_cache_bounded(self):
+        from repro.rng import aes as aes_mod
+
+        limit = aes_mod._SCHEDULE_CACHE_LIMIT
+        for i in range(limit + 4):
+            aes_mod.cached_schedule(i.to_bytes(16, "big"), 10)
+        assert len(aes_mod._SCHEDULE_CACHE) <= limit
