@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Long-running differential fuzzing soak.
+
+A thin driver over :func:`repro.fuzz.run_campaign` for overnight runs:
+it loops batches of programs (so memory stays flat and progress is
+visible), advances the base seed between batches, and stops early the
+moment a batch reports a divergence or compile error.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fuzz_soak.py [--batches 50]
+        [--batch-size 200] [--seed 0] [--jobs 4] [--corpus-dir corpus]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.fuzz import CampaignConfig, run_campaign
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=50)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--corpus-dir", default="corpus")
+    args = parser.parse_args()
+
+    start = time.time()
+    checked = 0
+    for batch in range(args.batches):
+        base_seed = args.seed + batch * args.batch_size
+        summary = run_campaign(
+            CampaignConfig(
+                iterations=args.batch_size,
+                base_seed=base_seed,
+                jobs=args.jobs,
+                corpus_dir=args.corpus_dir,
+            )
+        )
+        checked += summary.checked
+        elapsed = time.time() - start
+        rate = checked / elapsed if elapsed else 0.0
+        print(
+            f"batch {batch + 1}/{args.batches} (seeds {base_seed}.."
+            f"{base_seed + args.batch_size - 1}): "
+            f"{checked} programs total, {rate:.1f}/s",
+            flush=True,
+        )
+        if not summary.ok:
+            print(summary.format())
+            return 2
+    print(f"soak clean: {checked} programs, no divergences")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,28 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import ALL_ORACLES, CampaignConfig, run_campaign
+
+    oracles = tuple(args.oracles) if args.oracles else ALL_ORACLES
+    for oracle in oracles:
+        if oracle not in ALL_ORACLES:
+            print(f"unknown oracle {oracle!r}; known: {', '.join(ALL_ORACLES)}")
+            return 2
+    config = CampaignConfig(
+        iterations=args.iterations,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        harden_seeds=tuple(range(1, 1 + args.harden_seeds)),
+        oracles=oracles,
+        corpus_dir=args.corpus_dir,
+        reduce_findings=not args.no_reduce,
+    )
+    summary = run_campaign(config)
+    print(summary.format())
+    return 0 if summary.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +236,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="*", default=None)
     p.add_argument("--schemes", nargs="*", default=list(SCHEME_NAMES))
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing campaign")
+    p.add_argument("--iterations", type=int, default=100,
+                   help="number of generated programs (default 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program i uses seed+i (default 0)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1)")
+    p.add_argument("--oracles", nargs="*", default=None,
+                   help="subset of: dispatch opt harden aes (default all)")
+    p.add_argument("--harden-seeds", type=int, default=2,
+                   help="permutation seeds per program (default 2)")
+    p.add_argument("--corpus-dir", default="corpus",
+                   help="where reproducers are written (default corpus/)")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip delta-debugging findings")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,41 @@
+"""Differential fuzzing subsystem: generator, oracles, reducer, campaign.
+
+``python -m repro fuzz`` drives :func:`run_campaign`; the pieces are
+importable individually for tests and one-off investigations:
+
+* :mod:`repro.fuzz.generator` — seeded Mini-C program generator;
+* :mod:`repro.fuzz.oracles` — the four differential oracles;
+* :mod:`repro.fuzz.reduce` — delta-debugging test-case reducer;
+* :mod:`repro.fuzz.runner` — parallel campaign driver + corpus writer.
+"""
+
+from repro.fuzz.generator import GenConfig, ProgramGenerator, generate_program
+from repro.fuzz.oracles import (
+    ALL_ORACLES,
+    OracleFinding,
+    ProgramVerdict,
+    check_program,
+)
+from repro.fuzz.reduce import make_oracle_predicate, reduce_program
+from repro.fuzz.runner import (
+    CampaignConfig,
+    CampaignSummary,
+    Finding,
+    run_campaign,
+)
+
+__all__ = [
+    "ALL_ORACLES",
+    "CampaignConfig",
+    "CampaignSummary",
+    "Finding",
+    "GenConfig",
+    "OracleFinding",
+    "ProgramGenerator",
+    "ProgramVerdict",
+    "check_program",
+    "generate_program",
+    "make_oracle_predicate",
+    "reduce_program",
+    "run_campaign",
+]

@@ -1,0 +1,714 @@
+"""Seeded, grammar-driven random Mini-C program generator.
+
+Every program this module emits is, by construction:
+
+* **deterministic** — the program text is a pure function of the seed,
+  and the program itself consumes no input and makes no timing-dependent
+  decisions (``guest_rand`` is a fixed-seed guest PRNG);
+* **terminating** — every loop has a bounded trip count and recursion
+  runs on a strictly decreasing counter;
+* **memory safe** — arrays have power-of-two sizes and every subscript
+  is masked with ``& (size - 1)``; VLA subscripts are clamped with the
+  double-modulo idiom ``((e) % n + n) % n``;
+* **initialized before read** — a name only enters the generator's
+  symbol pools after its declaration *and* full initialization have been
+  emitted.  This one is load-bearing for the differential oracles: an
+  uninitialized stack read picks up whatever bytes the previous frame
+  left behind, which legitimately differs between the baseline and the
+  permuted (hardened) layouts and would drown real bugs in noise;
+* **trap-avoidant** — integer divisors are forced odd with ``| 1``,
+  shift counts are masked with ``& 7``, and float operands are built
+  from bounded integers so float→int casts stay finite in the common
+  case.  (A program that still traps is fine — traps are deterministic
+  VM semantics shared by every oracle leg — it just observes less.)
+
+Within those invariants the grammar deliberately leans on every corner
+of the lowering surface: scalars of all widths, pointers (including
+pointer-to-array-element indexing), fixed arrays, structs with scalar
+and array fields, VLAs, nested/sequenced loops of all three kinds,
+helper calls, recursion, and globals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+#: Integer scalar types, all widths (signed and unsigned).
+INT_TYPES = (
+    "char",
+    "unsigned char",
+    "short",
+    "unsigned short",
+    "int",
+    "unsigned int",
+    "long",
+    "unsigned long",
+)
+
+FLOAT_TYPES = ("float", "double")
+
+#: Power-of-two array sizes so subscripts can be masked in-bounds.
+ARRAY_SIZES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and feature knobs for one generated program."""
+
+    max_helpers: int = 3
+    max_stmts: int = 12  #: statement budget for main's body
+    helper_stmts: int = 5  #: statement budget for helper bodies
+    max_block_stmts: int = 4  #: statements inside a nested block
+    max_depth: int = 3  #: nesting depth of compound statements
+    max_expr_depth: int = 3
+    max_loop_trip: int = 6
+    # Feature gates (all on by default; the fuzzer occasionally narrows
+    # them so minimized reproducers aren't forced through every feature).
+    use_globals: bool = True
+    use_arrays: bool = True
+    use_structs: bool = True
+    use_vlas: bool = True
+    use_pointers: bool = True
+    use_floats: bool = True
+    use_recursion: bool = True
+    use_strings: bool = True
+    use_guest_rand: bool = True
+
+    def narrowed(self, rng: random.Random) -> "GenConfig":
+        """Randomly switch off some feature gates (for corpus diversity)."""
+        flips = {}
+        for name in (
+            "use_globals",
+            "use_arrays",
+            "use_structs",
+            "use_vlas",
+            "use_pointers",
+            "use_floats",
+            "use_recursion",
+            "use_strings",
+            "use_guest_rand",
+        ):
+            if rng.random() < 0.25:
+                flips[name] = False
+        return replace(self, **flips)
+
+
+@dataclass
+class _Var:
+    name: str
+    ctype: str  #: declared Mini-C type
+
+
+@dataclass
+class _Array:
+    name: str
+    elem_ctype: str
+    size: int  #: power of two
+
+
+@dataclass
+class _Vla:
+    name: str
+    elem_ctype: str
+    len_name: str  #: int variable holding the (>=1) length
+
+
+@dataclass
+class _Struct:
+    name: str  #: variable name
+    int_fields: List[str]
+    float_fields: List[str]
+    array_field: Optional[Tuple[str, int]]  #: (field name, size)
+
+
+@dataclass
+class _Pointer:
+    name: str
+    elem_ctype: str
+    kind: str  #: "scalar" (deref only) or "array" (indexable)
+    mask: int  #: valid index mask for kind == "array"
+
+
+class _Scope:
+    """One lexical scope frame of initialized, readable names."""
+
+    def __init__(self) -> None:
+        self.ints: List[_Var] = []
+        #: readable but never assigned: loop counters and recursion
+        #: parameters — mutating those would break the termination proof.
+        self.readonly_ints: List[_Var] = []
+        self.floats: List[_Var] = []
+        self.arrays: List[_Array] = []
+        self.vlas: List[_Vla] = []
+        self.structs: List[_Struct] = []
+        self.pointers: List[_Pointer] = []
+
+
+class ProgramGenerator:
+    """Generates one Mini-C translation unit from a seed."""
+
+    def __init__(self, seed: int, config: Optional[GenConfig] = None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        base = config or GenConfig()
+        # Roughly a quarter of programs narrow the feature set so the
+        # corpus also contains small single-feature programs.
+        if config is None and self.rng.random() < 0.25:
+            base = base.narrowed(self.rng)
+        self.config = base
+        self.lines: List[str] = []
+        self.indent = 0
+        self.scopes: List[_Scope] = []
+        self.counter = 0
+        self.helpers: List[Tuple[str, int]] = []  #: (name, arity)
+        self.recursive_helper: Optional[str] = None
+        self.global_scope = _Scope()
+        self.struct_def: Optional[_Struct] = None  #: template fields
+        self.loop_depth = 0
+        self.stmt_depth = 0
+        #: guards against call-inside-call-argument recursion blowing the
+        #: host's Python stack during generation.
+        self.call_nesting = 0
+
+    # ------------------------------------------------------------------
+    # emission helpers
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # ------------------------------------------------------------------
+    # symbol pools
+
+    def _all_scopes(self) -> List[_Scope]:
+        return [self.global_scope] + self.scopes
+
+    def pool(self, attr: str) -> list:
+        names: list = []
+        for scope in self._all_scopes():
+            names.extend(getattr(scope, attr))
+        return names
+
+    def top(self) -> _Scope:
+        return self.scopes[-1]
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def int_literal(self) -> str:
+        r = self.rng
+        choice = r.random()
+        if choice < 0.5:
+            value = r.randint(0, 9)
+        elif choice < 0.8:
+            value = r.choice([15, 31, 63, 127, 255, 1000, 4096, 65535])
+        else:
+            value = r.choice([-1, -7, -128, -32768, 123456789, -987654321])
+        return str(value)
+
+    def simple_index(self) -> str:
+        """A subscript-safe expression: a scalar read or a literal.
+
+        Index expressions must not recurse back into the full expression
+        grammar (lvalue enumeration runs inside leaf generation, so any
+        recursion here would be unbounded).
+        """
+        r = self.rng
+        scalars = self.pool("ints") + self.pool("readonly_ints")
+        if scalars and r.random() < 0.7:
+            return r.choice(scalars).name
+        return str(r.randint(0, 63))
+
+    def int_lvalues(self) -> List[str]:
+        """Writable integer locations (as expression strings)."""
+        out: List[str] = []
+        for var in self.pool("ints"):
+            out.append(var.name)
+        for arr in self.pool("arrays"):
+            if arr.elem_ctype in INT_TYPES:
+                out.append(f"{arr.name}[({self.simple_index()}) & {arr.size - 1}]")
+        for vla in self.pool("vlas"):
+            out.append(self._vla_ref(vla))
+        for st in self.pool("structs"):
+            if st.int_fields:
+                out.append(f"{st.name}.{self.rng.choice(st.int_fields)}")
+            if st.array_field is not None:
+                fname, size = st.array_field
+                out.append(
+                    f"{st.name}.{fname}[({self.simple_index()}) & {size - 1}]"
+                )
+        for ptr in self.pool("pointers"):
+            if ptr.elem_ctype not in INT_TYPES:
+                continue
+            if ptr.kind == "scalar":
+                out.append(f"(*{ptr.name})")
+            else:
+                out.append(f"{ptr.name}[({self.simple_index()}) & {ptr.mask}]")
+        return out
+
+    def _vla_ref(self, vla: _Vla) -> str:
+        index = self.simple_index()
+        n = vla.len_name
+        return f"{vla.name}[((({index}) % {n}) + {n}) % {n}]"
+
+    def int_leaf(self) -> str:
+        r = self.rng
+        candidates: List[str] = [self.int_literal()]
+        readable = self.int_lvalues() + [
+            v.name for v in self.pool("readonly_ints")
+        ]
+        if readable:
+            # Weight reads of existing state over fresh literals.
+            candidates.extend(r.choice(readable) for _ in range(2))
+        if self.config.use_guest_rand and r.random() < 0.15:
+            candidates.append("(guest_rand() & 1023)")
+        if self.config.use_floats and self.pool("floats") and r.random() < 0.2:
+            fvar = r.choice(self.pool("floats"))
+            # Bounded: the float pool only ever holds bounded values, but
+            # compound float updates can still overflow to inf; a trap
+            # here is deterministic and shared by every oracle leg.
+            candidates.append(f"(long)({fvar.name})")
+        if self.helpers and self.call_nesting == 0 and r.random() < 0.2:
+            candidates.append(self.call_expr())
+        if self.pool("arrays") and r.random() < 0.15:
+            arr = r.choice(self.pool("arrays"))
+            candidates.append(f"(long)sizeof({arr.name})")
+        return r.choice(candidates)
+
+    def int_expr(self, depth: Optional[int] = None) -> str:
+        if depth is None:
+            depth = self.config.max_expr_depth
+        r = self.rng
+        if depth <= 0 or r.random() < 0.3:
+            return self.int_leaf()
+        form = r.random()
+        a = self.int_expr(depth - 1)
+        if form < 0.45:
+            op = r.choice(["+", "-", "*", "&", "|", "^"])
+            b = self.int_expr(depth - 1)
+            return f"(({a}) {op} ({b}))"
+        if form < 0.6:
+            op = r.choice(["/", "%"])
+            b = self.int_expr(depth - 1)
+            return f"(({a}) {op} ((({b}) & 255) | 1))"
+        if form < 0.7:
+            op = r.choice(["<<", ">>"])
+            b = self.int_expr(depth - 1)
+            return f"(({a}) {op} (({b}) & 7))"
+        if form < 0.8:
+            return f"({self.bool_expr(depth - 1)} ? ({a}) : ({self.int_expr(depth - 1)}))"
+        if form < 0.9:
+            op = r.choice(["-", "~", "!"])
+            return f"({op}({a}))"
+        cast = r.choice(INT_TYPES)
+        return f"(({cast})({a}))"
+
+    def bool_expr(self, depth: int = 1) -> str:
+        r = self.rng
+        a = self.int_expr(depth)
+        form = r.random()
+        if form < 0.7:
+            op = r.choice(["<", ">", "<=", ">=", "==", "!="])
+            b = self.int_expr(depth)
+            return f"(({a}) {op} ({b}))"
+        if form < 0.85:
+            op = r.choice(["&&", "||"])
+            return f"((({a}) != 0) {op} (({self.int_expr(depth)}) != 0))"
+        return f"((({a}) & 1) == {r.choice(['0', '1'])})"
+
+    def float_expr(self, depth: Optional[int] = None) -> str:
+        if depth is None:
+            depth = min(2, self.config.max_expr_depth)
+        r = self.rng
+        floats = self.pool("floats")
+        if depth <= 0 or r.random() < 0.4:
+            if floats and r.random() < 0.6:
+                return r.choice(floats).name
+            # Float "literals": the lexer has no float constants, so all
+            # float values enter through casts of bounded integers.
+            return f"((double)({self.int_expr(1)}) / (double)16)"
+        a = self.float_expr(depth - 1)
+        b = self.float_expr(depth - 1)
+        op = r.choice(["+", "-", "*", "/"])
+        if op == "/":
+            # Divisor >= 1 in magnitude: no inf/NaN from division.
+            return f"(({a}) / ((({b}) * ({b})) + (double)1))"
+        return f"(({a}) {op} ({b}))"
+
+    def call_expr(self) -> str:
+        r = self.rng
+        name, arity = r.choice(self.helpers)
+        self.call_nesting += 1
+        try:
+            args = ", ".join(
+                f"(long)({self.int_expr(1)})" for _ in range(arity)
+            )
+        finally:
+            self.call_nesting -= 1
+        return f"{name}({args})"
+
+    # ------------------------------------------------------------------
+    # declarations (register only after full initialization)
+
+    def decl_scalar(self) -> None:
+        r = self.rng
+        if self.config.use_floats and r.random() < 0.2:
+            ctype = r.choice(FLOAT_TYPES)
+            name = self.fresh("f")
+            self.emit(f"{ctype} {name} = ({ctype})({self.float_expr()});")
+            self.top().floats.append(_Var(name, ctype))
+            return
+        ctype = r.choice(INT_TYPES)
+        name = self.fresh("v")
+        self.emit(f"{ctype} {name} = ({ctype})({self.int_expr()});")
+        self.top().ints.append(_Var(name, ctype))
+
+    def decl_array(self) -> None:
+        r = self.rng
+        ctype = r.choice(["char", "short", "int", "long", "unsigned int"])
+        size = r.choice(ARRAY_SIZES)
+        name = self.fresh("a")
+        idx = self.fresh("i")
+        self.emit(f"{ctype} {name}[{size}];")
+        self.emit(f"for (int {idx} = 0; {idx} < {size}; {idx}++) {{")
+        self.indent += 1
+        self.emit(f"{name}[{idx}] = ({ctype})(({idx} * 7) ^ {r.randint(0, 63)});")
+        self.indent -= 1
+        self.emit("}")
+        self.top().arrays.append(_Array(name, ctype, size))
+
+    def decl_vla(self) -> None:
+        r = self.rng
+        len_name = self.fresh("n")
+        name = self.fresh("w")
+        idx = self.fresh("i")
+        ctype = r.choice(["int", "long", "char"])
+        self.emit(f"int {len_name} = (int)(1 + (({self.int_expr(1)}) & 7));")
+        self.emit(f"{ctype} {name}[{len_name}];")
+        self.emit(f"for (int {idx} = 0; {idx} < {len_name}; {idx}++) {{")
+        self.indent += 1
+        self.emit(f"{name}[{idx}] = ({ctype})({idx} * {r.randint(1, 9)});")
+        self.indent -= 1
+        self.emit("}")
+        # The length stays read-only: reassigning it would desynchronize
+        # the %-clamp from the actual allocation size.
+        self.top().readonly_ints.append(_Var(len_name, "int"))
+        self.top().vlas.append(_Vla(name, ctype, len_name))
+
+    def decl_struct(self) -> None:
+        template = self.struct_def
+        assert template is not None
+        name = self.fresh("s")
+        self.emit(f"struct pack {name};")
+        for fname in template.int_fields:
+            self.emit(f"{name}.{fname} = {self.int_expr(1)};")
+        for fname in template.float_fields:
+            self.emit(f"{name}.{fname} = {self.float_expr(1)};")
+        array_field = template.array_field
+        if array_field is not None:
+            fname, size = array_field
+            idx = self.fresh("i")
+            self.emit(f"for (int {idx} = 0; {idx} < {size}; {idx}++) {{")
+            self.indent += 1
+            self.emit(f"{name}.{fname}[{idx}] = {idx} + 1;")
+            self.indent -= 1
+            self.emit("}")
+        self.top().structs.append(
+            _Struct(name, template.int_fields, template.float_fields, array_field)
+        )
+
+    def decl_pointer(self) -> None:
+        r = self.rng
+        # Candidate targets: long scalars (deref) and long arrays (index).
+        scalar_targets = [v for v in self.pool("ints") if v.ctype == "long"]
+        array_targets = [a for a in self.pool("arrays") if a.elem_ctype == "long"]
+        options: List[Tuple[str, object]] = []
+        if scalar_targets:
+            options.append(("scalar", r.choice(scalar_targets)))
+        if array_targets:
+            options.append(("array", r.choice(array_targets)))
+        if not options:
+            return
+        kind, target = r.choice(options)
+        name = self.fresh("p")
+        if kind == "scalar":
+            self.emit(f"long *{name} = &{target.name};")
+            self.top().pointers.append(_Pointer(name, "long", "scalar", 0))
+        else:
+            self.emit(f"long *{name} = &{target.name}[0];")
+            self.top().pointers.append(
+                _Pointer(name, "long", "array", target.size - 1)
+            )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def stmt_assign(self) -> None:
+        lvalues = self.int_lvalues()
+        if not lvalues:
+            self.decl_scalar()
+            return
+        r = self.rng
+        lhs = r.choice(lvalues)
+        form = r.random()
+        if form < 0.55:
+            self.emit(f"{lhs} = {self.int_expr()};")
+        elif form < 0.8:
+            op = r.choice(["+=", "-=", "*=", "^=", "|=", "&="])
+            self.emit(f"{lhs} {op} {self.int_expr(1)};")
+        else:
+            self.emit(f"{lhs}{r.choice(['++', '--'])};")
+
+    def stmt_float_assign(self) -> None:
+        floats = self.pool("floats")
+        if not floats:
+            self.decl_scalar()
+            return
+        var = self.rng.choice(floats)
+        self.emit(f"{var.name} = ({var.ctype})({self.float_expr()});")
+
+    def stmt_print(self) -> None:
+        r = self.rng
+        if self.config.use_strings and r.random() < 0.2:
+            self.emit(f'print_str("t{r.randint(0, 99)}");')
+            return
+        self.emit(f"print_int((long)({self.int_expr()}));")
+
+    def stmt_if(self, depth: int) -> None:
+        self.emit(f"if ({self.bool_expr()}) {{")
+        self.gen_block(depth)
+        if self.rng.random() < 0.4:
+            self.emit("} else {")
+            self.gen_block(depth)
+        self.emit("}")
+
+    def stmt_for(self, depth: int) -> None:
+        r = self.rng
+        idx = self.fresh("i")
+        trip = r.randint(1, self.config.max_loop_trip)
+        step = r.choice(["++", " += 1"])
+        self.emit(f"for (int {idx} = 0; {idx} < {trip}; {idx}{step}) {{")
+        self.gen_block(depth, loop_var=idx)
+        self.emit("}")
+
+    def stmt_while(self, depth: int) -> None:
+        r = self.rng
+        idx = self.fresh("i")
+        trip = r.randint(1, self.config.max_loop_trip)
+        self.emit(f"int {idx} = 0;")
+        self.top().readonly_ints.append(_Var(idx, "int"))
+        if r.random() < 0.5:
+            self.emit(f"while ({idx} < {trip}) {{")
+            self.gen_block(depth, loop_var=idx, counter_stmt=f"{idx}++;")
+            self.emit("}")
+        else:
+            self.emit("do {")
+            self.gen_block(depth, loop_var=idx, counter_stmt=f"{idx}++;")
+            self.emit(f"}} while ({idx} < {trip});")
+
+    def stmt_call(self) -> None:
+        if not self.helpers:
+            self.stmt_assign()
+            return
+        name = self.fresh("v")
+        self.emit(f"long {name} = {self.call_expr()};")
+        self.top().ints.append(_Var(name, "long"))
+
+    def stmt_recursive_call(self) -> None:
+        if self.recursive_helper is None:
+            self.stmt_call()
+            return
+        name = self.fresh("v")
+        depth = self.rng.randint(1, 10)
+        self.emit(
+            f"long {name} = {self.recursive_helper}"
+            f"((long){depth}, (long)({self.int_expr(1)}));"
+        )
+        self.top().ints.append(_Var(name, "long"))
+
+    def gen_block(
+        self,
+        depth: int,
+        loop_var: Optional[str] = None,
+        counter_stmt: Optional[str] = None,
+    ) -> None:
+        """Emit a brace-enclosed statement list (braces emitted by caller)."""
+        self.indent += 1
+        self.scopes.append(_Scope())
+        if loop_var is not None:
+            self.top().readonly_ints.append(_Var(loop_var, "int"))
+        budget = self.rng.randint(1, self.config.max_block_stmts)
+        if depth <= 0:
+            budget = min(budget, 2)
+        for _ in range(budget):
+            self.gen_stmt(depth - 1, in_loop=loop_var is not None)
+        if counter_stmt is not None:
+            # while/do-while advance: emitted last so `continue` can never
+            # skip it (we never emit bare continue in counter loops).
+            self.emit(counter_stmt)
+        self.scopes.pop()
+        self.indent -= 1
+
+    def gen_stmt(self, depth: int, in_loop: bool = False) -> None:
+        r = self.rng
+        cfg = self.config
+        choices: List[Tuple[float, object]] = [
+            (3.0, self.stmt_assign),
+            (2.0, self.decl_scalar),
+            (1.5, self.stmt_print),
+        ]
+        if cfg.use_arrays:
+            choices.append((0.8, self.decl_array))
+        if cfg.use_structs and self.struct_def is not None:
+            choices.append((0.5, self.decl_struct))
+        if cfg.use_pointers:
+            choices.append((0.6, self.decl_pointer))
+        if cfg.use_floats:
+            choices.append((0.7, self.stmt_float_assign))
+        if self.helpers:
+            choices.append((1.0, self.stmt_call))
+        if self.recursive_helper is not None:
+            choices.append((0.5, self.stmt_recursive_call))
+        if cfg.use_vlas and depth >= self.config.max_depth - 1:
+            # VLAs only near function top level: a VLA inside a loop body
+            # re-allocates on every iteration without a stack restore.
+            choices.append((0.5, self.decl_vla))
+        if depth > 0:
+            choices.append((1.2, lambda: self.stmt_if(depth)))
+            choices.append((1.2, lambda: self.stmt_for(depth)))
+            choices.append((0.8, lambda: self.stmt_while(depth)))
+        total = sum(w for w, _ in choices)
+        pick = r.random() * total
+        for weight, action in choices:
+            pick -= weight
+            if pick <= 0:
+                action()
+                return
+        choices[-1][1]()
+
+    # ------------------------------------------------------------------
+    # top-level structure
+
+    def gen_struct_def(self) -> None:
+        r = self.rng
+        int_fields = []
+        float_fields = []
+        for i in range(r.randint(2, 4)):
+            int_fields.append(f"m{i}")
+        if self.config.use_floats and r.random() < 0.5:
+            float_fields.append("fm")
+        array_field = ("arr", 4) if r.random() < 0.6 else None
+        parts = []
+        field_types = ["long", "int", "short", "unsigned char"]
+        for i, fname in enumerate(int_fields):
+            parts.append(f"    {field_types[i % len(field_types)]} {fname};")
+        for fname in float_fields:
+            parts.append(f"    double {fname};")
+        if array_field is not None:
+            parts.append(f"    long {array_field[0]}[{array_field[1]}];")
+        self.emit("struct pack {")
+        self.lines.extend(parts)
+        self.emit("};")
+        self.emit("")
+        self.struct_def = _Struct("", int_fields, float_fields, array_field)
+
+    def gen_globals(self) -> None:
+        r = self.rng
+        for _ in range(r.randint(1, 3)):
+            ctype = r.choice(["int", "long", "unsigned int", "short"])
+            name = self.fresh("g")
+            self.emit(f"{ctype} {name} = {r.randint(-100, 100)};")
+            self.global_scope.ints.append(_Var(name, ctype))
+        if self.config.use_arrays and r.random() < 0.7:
+            size = r.choice(ARRAY_SIZES)
+            name = self.fresh("ga")
+            # Global arrays live zero-initialized in .data: deterministic
+            # and identical in every build, so reads need no init loop.
+            self.emit(f"long {name}[{size}];")
+            self.global_scope.arrays.append(_Array(name, "long", size))
+        self.emit("")
+
+    def gen_helper(self, index: int) -> None:
+        r = self.rng
+        arity = r.randint(0, 3)
+        name = f"helper{index}"
+        params = ", ".join(f"long q{i}" for i in range(arity))
+        self.emit(f"long {name}({params}) {{")
+        self.indent += 1
+        self.scopes.append(_Scope())
+        for i in range(arity):
+            self.top().ints.append(_Var(f"q{i}", "long"))
+        for _ in range(r.randint(1, self.config.helper_stmts)):
+            self.gen_stmt(self.config.max_depth - 1)
+        self.emit(f"return (long)({self.int_expr()});")
+        self.scopes.pop()
+        self.indent -= 1
+        self.emit("}")
+        self.emit("")
+        self.helpers.append((name, arity))
+
+    def gen_recursive_helper(self) -> None:
+        r = self.rng
+        name = "rec0"
+        self.emit(f"long {name}(long n, long acc) {{")
+        self.indent += 1
+        self.scopes.append(_Scope())
+        # The decreasing counter must stay read-only or termination breaks.
+        self.top().readonly_ints.append(_Var("n", "long"))
+        self.top().ints.append(_Var("acc", "long"))
+        self.emit("if (n < 1) {")
+        self.indent += 1
+        self.emit("return acc;")
+        self.indent -= 1
+        self.emit("}")
+        for _ in range(r.randint(0, 2)):
+            self.gen_stmt(1)
+        self.emit(f"return {name}(n - 1, acc + ({self.int_expr(1)}));")
+        self.scopes.pop()
+        self.indent -= 1
+        self.emit("}")
+        self.emit("")
+        self.recursive_helper = name
+
+    def gen_main(self) -> None:
+        r = self.rng
+        self.emit("int main() {")
+        self.indent += 1
+        self.scopes.append(_Scope())
+        self.emit("long chk = 0;")
+        self.top().ints.append(_Var("chk", "long"))
+        if self.config.use_guest_rand and r.random() < 0.5:
+            self.emit(f"guest_srand({r.randint(0, 10000)});")
+        for _ in range(r.randint(4, self.config.max_stmts)):
+            self.gen_stmt(self.config.max_depth)
+            if r.random() < 0.3:
+                self.emit(f"chk += {self.int_expr(1)};")
+        self.emit("print_int(chk);")
+        self.emit("return (int)(chk & 63);")
+        self.scopes.pop()
+        self.indent -= 1
+        self.emit("}")
+
+    def generate(self) -> str:
+        self.emit(f"/* fuzz seed {self.seed} */")
+        if self.config.use_structs:
+            self.gen_struct_def()
+        if self.config.use_globals:
+            self.gen_globals()
+        helper_count = self.rng.randint(0, self.config.max_helpers)
+        for i in range(helper_count):
+            self.gen_helper(i)
+        if self.config.use_recursion and self.rng.random() < 0.6:
+            self.gen_recursive_helper()
+        self.gen_main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_program(seed: int, config: Optional[GenConfig] = None) -> str:
+    """The module's main entry point: seed → Mini-C source text."""
+    return ProgramGenerator(seed, config).generate()

@@ -1,0 +1,195 @@
+"""Delta-debugging reducer: shrink a diverging program to a minimal repro.
+
+Two alternating passes run to a fixpoint:
+
+* **line ddmin** — classic delta debugging over the line list: try
+  removing contiguous chunks, halving the chunk size whenever no chunk
+  can be removed, down to single lines;
+* **structural pass** — brace-aware transforms the line-level pass can't
+  express: removing a whole compound statement (``if``/``for``/
+  ``while``/``do`` header through its matching close), and *unwrapping*
+  one (deleting the header and closer but keeping the body).
+
+The predicate receives candidate source text and returns True when the
+candidate still reproduces the divergence.  Candidates that fail to
+compile simply make the predicate return False — the oracle harness
+treats front-end errors as "not the bug we're chasing" — so the reducer
+never needs to understand Mini-C syntax beyond brace counting.
+
+Reduction is deterministic: same input + same predicate → same output.
+Predicate results are memoized on the candidate text, so the quadratic
+retry pattern of ddmin doesn't re-run the expensive oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+Predicate = Callable[[str], bool]
+
+#: Hard ceiling on predicate evaluations per reduce_program call, so a
+#: pathological predicate can't stall a fuzzing campaign.
+DEFAULT_MAX_CHECKS = 2000
+
+
+class _Reducer:
+    def __init__(self, predicate: Predicate, max_checks: int):
+        self._predicate = predicate
+        self._max_checks = max_checks
+        self._cache: Dict[str, bool] = {}
+        self.checks = 0
+
+    def holds(self, lines: List[str]) -> bool:
+        source = "\n".join(lines) + "\n"
+        cached = self._cache.get(source)
+        if cached is not None:
+            return cached
+        if self.checks >= self._max_checks:
+            return False
+        self.checks += 1
+        try:
+            result = bool(self._predicate(source))
+        except Exception:  # noqa: BLE001 - a crashing predicate is "no"
+            result = False
+        self._cache[source] = result
+        return result
+
+
+def _ddmin_lines(lines: List[str], reducer: _Reducer) -> List[str]:
+    """Remove line chunks while the predicate keeps holding."""
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        start = 0
+        removed_any = False
+        while start < len(lines):
+            candidate = lines[:start] + lines[start + chunk :]
+            if candidate and reducer.holds(candidate):
+                lines = candidate
+                removed_any = True
+                # Same start now points at fresh content.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        if not removed_any:
+            chunk //= 2
+        else:
+            chunk = min(chunk, max(1, len(lines) // 2))
+    return lines
+
+
+def _block_spans(lines: List[str]) -> List[Tuple[int, int]]:
+    """(header, closer) index pairs for every ``... {`` compound.
+
+    Relies only on brace counts per line, so it works on generator
+    output and on anything hand-written one-construct-per-line.
+    ``} else {`` lines are brace-neutral and correctly extend the span.
+    """
+    spans: List[Tuple[int, int]] = []
+    stack: List[int] = []
+    for index, line in enumerate(lines):
+        opens = line.count("{")
+        closes = line.count("}")
+        if closes and stack and closes >= opens:
+            header = stack.pop()
+            spans.append((header, index))
+            # Reopen for brace-neutral continuation lines (`} else {`).
+            if opens == closes:
+                stack.append(header)
+        elif opens > closes:
+            stack.append(index)
+    spans.sort(key=lambda span: span[1] - span[0], reverse=True)
+    return spans
+
+
+def _structural_pass(lines: List[str], reducer: _Reducer) -> List[str]:
+    """Try whole-block removal, then block unwrapping."""
+    changed = True
+    while changed:
+        changed = False
+        for header, closer in _block_spans(lines):
+            if closer - header < 1 or closer >= len(lines):
+                continue
+            # 1. Drop the entire compound statement.
+            candidate = lines[:header] + lines[closer + 1 :]
+            if candidate and reducer.holds(candidate):
+                lines = candidate
+                changed = True
+                break
+            # 2. Unwrap: keep the body, drop header/closer (and any
+            #    brace-neutral `} else {` separators inside).
+            body = [
+                line
+                for line in lines[header + 1 : closer]
+                if line.strip() != "} else {"
+            ]
+            candidate = lines[:header] + body + lines[closer + 1 :]
+            if candidate and reducer.holds(candidate):
+                lines = candidate
+                changed = True
+                break
+    return lines
+
+
+def reduce_program(
+    source: str,
+    predicate: Predicate,
+    *,
+    max_rounds: int = 8,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> str:
+    """Shrink ``source`` while ``predicate`` keeps returning True.
+
+    Returns the smallest reproducer found (the original source if the
+    predicate doesn't even hold on the input — callers should treat that
+    as "nothing to reduce").
+    """
+    reducer = _Reducer(predicate, max_checks)
+    lines = [line for line in source.splitlines() if line.strip()]
+    if not lines or not reducer.holds(lines):
+        return source
+    for _ in range(max_rounds):
+        before = list(lines)
+        lines = _ddmin_lines(lines, reducer)
+        lines = _structural_pass(lines, reducer)
+        if lines == before:
+            break
+    return "\n".join(lines) + "\n"
+
+
+def make_oracle_predicate(
+    oracle_names: List[str],
+    *,
+    max_steps: Optional[int] = None,
+    harden_seeds: Optional[Tuple[int, ...]] = None,
+    detail_contains: Optional[str] = None,
+) -> Predicate:
+    """Predicate: candidate still diverges on one of ``oracle_names``.
+
+    Compile errors (the reducer cutting a declaration a later line
+    needs) make the predicate False, steering ddmin toward candidates
+    that stay well-formed.  ``detail_contains`` optionally pins the
+    predicate to findings mentioning a substring (e.g. a field name or
+    exception type), so reduction can't slip onto an unrelated bug.
+    """
+    from repro.fuzz import oracles as oracle_module
+
+    kwargs = {}
+    if max_steps is not None:
+        kwargs["max_steps"] = max_steps
+    if harden_seeds is not None:
+        kwargs["harden_seeds"] = harden_seeds
+
+    def predicate(candidate: str) -> bool:
+        verdict = oracle_module.check_program(
+            candidate, oracles=tuple(oracle_names), **kwargs
+        )
+        if verdict.compile_error is not None:
+            return False
+        if detail_contains is None:
+            return bool(verdict.findings)
+        return any(
+            detail_contains in finding.detail for finding in verdict.findings
+        )
+
+    return predicate

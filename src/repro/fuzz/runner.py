@@ -1,0 +1,216 @@
+"""Fuzzing campaign driver: generate → check → reduce → corpus.
+
+The campaign is deterministic end to end: program ``i`` is generated
+from ``base_seed + i``, workers receive explicit seeds, and results are
+collected in submission order, so ``--jobs 8`` and ``--jobs 1`` produce
+the same report.  Reduction of any finding happens in the parent
+process (it is rare and needs the oracle predicate anyway).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracles import (
+    ALL_ORACLES,
+    DEFAULT_HARDEN_SEEDS,
+    DEFAULT_MAX_STEPS,
+    check_program,
+)
+from repro.fuzz.reduce import make_oracle_predicate, reduce_program
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    iterations: int = 100
+    base_seed: int = 0
+    jobs: int = 1
+    max_steps: int = DEFAULT_MAX_STEPS
+    harden_seeds: Tuple[int, ...] = DEFAULT_HARDEN_SEEDS
+    oracles: Tuple[str, ...] = ALL_ORACLES
+    #: where reproducers land; None disables corpus writing.
+    corpus_dir: Optional[str] = "corpus"
+    reduce_findings: bool = True
+
+
+@dataclass
+class Finding:
+    """One divergent program, with its reduction and corpus paths."""
+
+    seed: int
+    oracles: List[str]
+    details: List[str]
+    program: str
+    reduced: Optional[str] = None
+    corpus_paths: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CampaignSummary:
+    config: CampaignConfig
+    checked: int = 0
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+    #: seeds whose generated program failed to compile (generator bugs).
+    compile_errors: List[Tuple[int, str]] = field(default_factory=list)
+    #: count of skipped comparisons (a leg hit the step limit).
+    inconclusive: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.compile_errors
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.checked} programs "
+            f"(base seed {self.config.base_seed}, "
+            f"oracles: {', '.join(self.config.oracles)})",
+            "outcomes: "
+            + (
+                ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(self.outcome_counts.items())
+                )
+                or "none"
+            ),
+        ]
+        if self.inconclusive:
+            lines.append(f"inconclusive comparisons: {self.inconclusive}")
+        if self.compile_errors:
+            lines.append(f"COMPILE ERRORS: {len(self.compile_errors)}")
+            for seed, message in self.compile_errors[:5]:
+                lines.append(f"  seed {seed}: {message}")
+        if self.findings:
+            lines.append(f"DIVERGENCES: {len(self.findings)}")
+            for finding in self.findings:
+                lines.append(
+                    f"  seed {finding.seed} "
+                    f"[{', '.join(finding.oracles)}]: {finding.details[0]}"
+                )
+                for path in finding.corpus_paths:
+                    lines.append(f"    -> {path}")
+        else:
+            lines.append("no divergences")
+        return "\n".join(lines)
+
+
+def _check_seed(payload: tuple) -> dict:
+    """Worker body (module-level for pickling; also used for jobs=1)."""
+    seed, max_steps, harden_seeds, oracles = payload
+    source = generate_program(seed)
+    verdict = check_program(
+        source,
+        max_steps=max_steps,
+        harden_seeds=harden_seeds,
+        oracles=oracles,
+        aes_seed=seed,
+    )
+    return {
+        "seed": seed,
+        "ok": verdict.ok,
+        "outcome": verdict.outcome,
+        "compile_error": verdict.compile_error,
+        "oracles": verdict.failed_oracles(),
+        "details": [str(finding) for finding in verdict.findings],
+        "inconclusive": len(verdict.inconclusive),
+        "program": None if verdict.ok else source,
+    }
+
+
+def run_campaign(config: CampaignConfig) -> CampaignSummary:
+    summary = CampaignSummary(config=config)
+    payloads = [
+        (
+            config.base_seed + index,
+            config.max_steps,
+            tuple(config.harden_seeds),
+            tuple(config.oracles),
+        )
+        for index in range(config.iterations)
+    ]
+    if config.jobs > 1:
+        with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+            results = list(pool.map(_check_seed, payloads, chunksize=8))
+    else:
+        results = [_check_seed(payload) for payload in payloads]
+
+    for result in results:
+        summary.checked += 1
+        summary.inconclusive += result["inconclusive"]
+        outcome = result["outcome"] or "none"
+        summary.outcome_counts[outcome] = (
+            summary.outcome_counts.get(outcome, 0) + 1
+        )
+        if result["compile_error"] is not None:
+            summary.compile_errors.append(
+                (result["seed"], result["compile_error"])
+            )
+            continue
+        if result["ok"]:
+            continue
+        finding = Finding(
+            seed=result["seed"],
+            oracles=result["oracles"],
+            details=result["details"],
+            program=result["program"],
+        )
+        if config.reduce_findings:
+            predicate = make_oracle_predicate(
+                finding.oracles,
+                max_steps=_reduction_step_budget(
+                    finding.program, config.max_steps
+                ),
+                harden_seeds=tuple(config.harden_seeds),
+            )
+            finding.reduced = reduce_program(finding.program, predicate)
+        if config.corpus_dir is not None:
+            finding.corpus_paths = _write_corpus(config.corpus_dir, finding)
+        summary.findings.append(finding)
+    return summary
+
+
+def _reduction_step_budget(source: str, ceiling: int) -> int:
+    """A tight max_steps for the reducer's oracle predicate.
+
+    ddmin routinely produces candidates whose loop-advance line was cut,
+    turning a terminating program into a 20M-step runaway; at Python VM
+    speed each such candidate would cost tens of seconds.  The original
+    divergence manifests within the original program's own step count,
+    so 4× the reference run (with generous floor) loses nothing and
+    makes runaway candidates fail fast — they hit "limit" on *both*
+    legs, compare equal, and ddmin discards them.
+    """
+    from repro.core.pipeline import compile_source
+    from repro.vm.interpreter import Machine
+
+    try:
+        reference = Machine(
+            compile_source(source), max_steps=min(ceiling, 2_000_000)
+        ).run()
+        steps = reference.steps
+    except Exception:  # noqa: BLE001 - fall back to a fixed budget
+        steps = 500_000
+    return min(ceiling, max(100_000, 4 * steps))
+
+
+def _write_corpus(corpus_dir: str, finding: Finding) -> List[str]:
+    os.makedirs(corpus_dir, exist_ok=True)
+    tag = "_".join(finding.oracles) or "unknown"
+    paths = []
+    base = os.path.join(corpus_dir, f"seed{finding.seed}_{tag}")
+    header = "".join(
+        "/* " + line.replace("*/", "* /") + " */\n"
+        for line in finding.details[:4]
+    )
+    with open(base + ".c", "w") as handle:
+        handle.write(header + finding.program)
+    paths.append(base + ".c")
+    if finding.reduced is not None and finding.reduced != finding.program:
+        with open(base + "_min.c", "w") as handle:
+            handle.write(header + finding.reduced)
+        paths.append(base + "_min.c")
+    return paths

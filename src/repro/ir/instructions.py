@@ -85,7 +85,7 @@ class Alloca(Instruction):
     about "the buffer" or "the loop counter" by name.
     """
 
-    __slots__ = ("allocated_type", "count", "align", "var_name")
+    __slots__ = ("allocated_type", "align", "var_name")
 
     def __init__(
         self,
@@ -100,12 +100,21 @@ class Alloca(Instruction):
         operands = [count] if count is not None else []
         super().__init__(ct.PointerType(allocated_type), operands, name)
         self.allocated_type = allocated_type
-        self.count = count
         if align is None:
             base = allocated_type if allocated_type.is_complete() else ct.CHAR
             align = max(1, base.alignment())
         self.align = align
         self.var_name = var_name
+
+    @property
+    def count(self) -> Optional[Value]:
+        """The dynamic element count, if any.
+
+        Lives in ``operands`` (not a cached attribute) so optimizer
+        passes that rewrite operands in place — constant folding a VLA
+        length, say — are automatically reflected here.
+        """
+        return self.operands[0] if self.operands else None
 
     def is_static(self) -> bool:
         return self.count is None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 
 class PhaseTimer:
@@ -19,18 +19,23 @@ class PhaseTimer:
         with timer.phase("execute"):
             Machine(module).run()
         timer.totals()  # {"compile": ..., "execute": ...}
+
+    ``clock`` defaults to :func:`time.perf_counter`; tests inject a fake
+    so timing arithmetic can be asserted exactly instead of against
+    wall-clock thresholds that flake on slow runners.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._totals: Dict[str, float] = {}
+        self._clock = clock if clock is not None else time.perf_counter
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        start = self._clock()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = self._clock() - start
             self._totals[name] = self._totals.get(name, 0.0) + elapsed
 
     def seconds(self, name: str) -> float:

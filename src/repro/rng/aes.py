@@ -256,7 +256,9 @@ class AES128:
     """Convenience wrapper binding a key and a round count.
 
     Uses the T-table fast path and the module-level schedule cache; the
-    byte-level :func:`encrypt_block` remains available as the reference.
+    byte-level :func:`encrypt_block` remains available as the reference
+    via :meth:`encrypt_reference` — the differential fuzzer's AES oracle
+    runs the same reseed stream through both and demands bit equality.
     """
 
     def __init__(self, key: bytes, rounds: int = STANDARD_ROUNDS):
@@ -265,3 +267,7 @@ class AES128:
 
     def encrypt(self, block: bytes) -> bytes:
         return encrypt_block_fast(block, self._schedule_words)
+
+    def encrypt_reference(self, block: bytes) -> bytes:
+        """Byte-level FIPS-197 encryption under the same key schedule."""
+        return encrypt_block(block, self._round_keys)

@@ -35,12 +35,26 @@ class AesCtrGenerator:
         entropy: Optional[EntropySource] = None,
         rounds: int = STANDARD_ROUNDS,
         reseed_interval: int = DEFAULT_RESEED_INTERVAL,
+        implementation: str = "fast",
     ):
+        """``implementation`` selects the block cipher path: ``"fast"``
+        (T-tables, production) or ``"reference"`` (byte-level FIPS-197).
+        Both consume the entropy stream identically, so two generators
+        built from the same deterministic entropy must emit the same
+        values — the differential fuzzer's AES oracle checks exactly
+        that, including across reseed boundaries.
+        """
         if reseed_interval <= 0:
             raise ValueError("reseed_interval must be positive")
+        if implementation not in ("fast", "reference"):
+            raise ValueError(
+                f"implementation must be 'fast' or 'reference', "
+                f"got {implementation!r}"
+            )
         self._entropy = entropy or SystemEntropy()
         self._rounds = rounds
         self._reseed_interval = reseed_interval
+        self._implementation = implementation
         self._cipher: Optional[AES128] = None
         self._nonce = b""
         self._last_value = 0
@@ -71,7 +85,10 @@ class AesCtrGenerator:
         block = self._nonce + (
             (call_counter ^ self._last_value) & ((1 << 64) - 1)
         ).to_bytes(8, "little")
-        ciphertext = self._cipher.encrypt(block)
+        if self._implementation == "fast":
+            ciphertext = self._cipher.encrypt(block)
+        else:
+            ciphertext = self._cipher.encrypt_reference(block)
         value = int.from_bytes(ciphertext[:8], "little")
         self._last_value = value
         return value

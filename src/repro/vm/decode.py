@@ -30,7 +30,6 @@ executor-table path; the test suite asserts both produce bit-identical
 
 from __future__ import annotations
 
-import struct
 from typing import Callable, Dict, List
 
 from repro.errors import IRError, VMError, VMFault, VMTrap
@@ -38,6 +37,7 @@ from repro.ir import instructions as ir
 from repro.ir.values import Constant, GlobalVariable, Value
 from repro.minic import types as ct
 from repro.vm.costs import DYNAMIC_ALLOCA_UNITS
+from repro.vm.floatmath import float_to_int_operand, round_f32
 from repro.vm.memory import DATA_BASE, HEAP_BASE
 
 _U64 = (1 << 64) - 1
@@ -101,20 +101,25 @@ def _binop_impl(op: str, result_type: ct.CType):
     equivalence tests run every workload through both.
     """
     if op in ("fadd", "fsub", "fmul", "fdiv"):
+        # float-typed results round to binary32 per operation (matching
+        # interpreter._apply_binop); double results stay unrounded.
         if op == "fadd":
-            return lambda a, b: float(a) + float(b)
-        if op == "fsub":
-            return lambda a, b: float(a) - float(b)
-        if op == "fmul":
-            return lambda a, b: float(a) * float(b)
+            impl = lambda a, b: float(a) + float(b)  # noqa: E731
+        elif op == "fsub":
+            impl = lambda a, b: float(a) - float(b)  # noqa: E731
+        elif op == "fmul":
+            impl = lambda a, b: float(a) * float(b)  # noqa: E731
+        else:
 
-        def fdiv(a, b):
-            denominator = float(b)
-            if denominator == 0.0:
-                return float("inf") if float(a) > 0 else float("-inf")
-            return float(a) / denominator
+            def impl(a, b):
+                denominator = float(b)
+                if denominator == 0.0:
+                    return float("inf") if float(a) > 0 else float("-inf")
+                return float(a) / denominator
 
-        return fdiv
+        if result_type.size() == 4:
+            return lambda a, b: round_f32(impl(a, b))
+        return impl
 
     wrap = _int_wrap(result_type)
     bits = result_type.size() * 8
@@ -225,17 +230,20 @@ def _cast_impl(kind: str, from_type: ct.CType, to_type: ct.CType):
         return lambda v: v
     if kind in ("fptosi", "fptoui"):
         wrap = _int_wrap(to_type)
-        return lambda v: wrap(int(float(v)))
+        return lambda v: wrap(int(float_to_int_operand(float(v))))
     if kind == "sitofp":
+        if to_type.size() == 4:
+            return lambda v: round_f32(float(int(v)))
         return lambda v: float(int(v))
     if kind == "uitofp":
         from_mask = (1 << (from_type.size() * 8)) - 1
+        if to_type.size() == 4:
+            return lambda v: round_f32(float(int(v) & from_mask))
         return lambda v: float(int(v) & from_mask)
     if kind == "fpext":
         return lambda v: float(v)
     if kind == "fptrunc":
-        pack, unpack = struct.pack, struct.unpack
-        return lambda v: unpack("<f", pack("<f", float(v)))[0]
+        return lambda v: round_f32(float(v))
     raise VMError(f"unknown cast '{kind}'")
 
 

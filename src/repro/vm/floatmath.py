@@ -1,0 +1,50 @@
+"""IEEE-754 binary32 semantics shared by every execution layer.
+
+The VM models ``float`` as hardware does (x86-64 SSE): every operation
+that produces a ``float``-typed value rounds its result to binary32
+immediately, so a value sitting in a virtual register is bit-identical
+to the same value after a store/load round-trip through a 4-byte slot.
+
+That invariant is what makes mem2reg sound for ``float`` locals — the
+differential fuzzer's -O0 vs -O2 oracle caught the original unrounded
+implementation producing different results once promoted values stopped
+passing through memory.
+
+Also here: the guard that turns float→int conversion of a non-finite
+value (C undefined behaviour; a raw Python ``int(float('inf'))`` would
+escape the interpreter as OverflowError) into a deterministic
+:class:`~repro.errors.VMTrap` on every dispatch path.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import VMTrap
+
+_PACK_F32 = struct.Struct("<f")
+
+
+def round_f32(value: float) -> float:
+    """Round to the nearest binary32 value; overflow becomes ±inf.
+
+    Matches the C conversion/arithmetic result for ``float``: values too
+    large for binary32 saturate to infinity of the same sign (default
+    rounding mode), NaN stays NaN.
+    """
+    try:
+        return _PACK_F32.unpack(_PACK_F32.pack(value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def float_to_int_operand(value: float) -> float:
+    """Validate a float about to be converted to an integer.
+
+    Non-finite inputs trap deterministically instead of leaking a host
+    OverflowError/ValueError out of the interpreter loop.
+    """
+    if not math.isfinite(value):
+        raise VMTrap("float-to-int conversion of non-finite value")
+    return value

@@ -45,6 +45,7 @@ from repro.ir.values import Argument, Constant, GlobalVariable, Value
 from repro.minic import types as ct
 from repro.vm.costs import CostModel
 from repro.vm.decode import Decoder, FellOffBlock
+from repro.vm.floatmath import float_to_int_operand, round_f32
 from repro.vm.memory import STACK_TOP, Memory
 from repro.vm.process import ProcessImage, load
 
@@ -142,6 +143,56 @@ class ExecutionResult:
             "limit": self.error_message,
         }[self.outcome]
         return f"ExecutionResult({self.outcome}: {detail}, steps={self.steps})"
+
+
+#: Every observable ExecutionResult field.  The dispatch-equivalence
+#: tests and the differential-fuzzing oracles compare exactly these:
+#: the fast and slow dispatch paths must agree on all of them,
+#: bit for bit, for every program.
+RESULT_FIELDS = (
+    "outcome",
+    "exit_code",
+    "fault_kind",
+    "fault_address",
+    "violation_check",
+    "violation_function",
+    "error_message",
+    "steps",
+    "cycles",
+    "max_rss",
+    "int_outputs",
+    "str_outputs",
+    "output_data",
+    "call_counts",
+)
+
+#: The subset of RESULT_FIELDS a semantics-preserving *build* transform
+#: (optimization, Smokestack hardening) must keep fixed.  Steps, cycles
+#: and max-rss legitimately change when the instruction stream does.
+OBSERVABLE_FIELDS = (
+    "outcome",
+    "exit_code",
+    "fault_kind",
+    "violation_check",
+    "int_outputs",
+    "str_outputs",
+    "output_data",
+)
+
+
+def result_fingerprint(result: "ExecutionResult", fields=RESULT_FIELDS) -> tuple:
+    """Hashable snapshot of ``fields`` (bytearrays frozen to bytes)."""
+    out = []
+    for field in fields:
+        value = getattr(result, field)
+        if isinstance(value, bytearray):
+            value = bytes(value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        elif isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        out.append(value)
+    return tuple(out)
 
 
 class Machine:
@@ -916,17 +967,24 @@ def _apply_binop(op: str, lhs, rhs, result_type: ct.CType):
         if op == "lshr":
             return _wrap_int(_to_unsigned(int(lhs), result_type) >> shift, result_type)
         return _wrap_int(int(lhs) >> shift, result_type)
-    if op == "fadd":
-        return float(lhs) + float(rhs)
-    if op == "fsub":
-        return float(lhs) - float(rhs)
-    if op == "fmul":
-        return float(lhs) * float(rhs)
-    if op == "fdiv":
-        denominator = float(rhs)
-        if denominator == 0.0:
-            return float("inf") if float(lhs) > 0 else float("-inf")
-        return float(lhs) / denominator
+    if op in ("fadd", "fsub", "fmul", "fdiv"):
+        if op == "fadd":
+            result = float(lhs) + float(rhs)
+        elif op == "fsub":
+            result = float(lhs) - float(rhs)
+        elif op == "fmul":
+            result = float(lhs) * float(rhs)
+        else:
+            denominator = float(rhs)
+            if denominator == 0.0:
+                result = float("inf") if float(lhs) > 0 else float("-inf")
+            else:
+                result = float(lhs) / denominator
+        # float-typed results round to binary32 per operation, exactly as
+        # SSE hardware does; see repro.vm.floatmath.
+        if result_type.size() == 4:
+            return round_f32(result)
+        return result
     raise VMError(f"unknown binop '{op}'")
 
 
@@ -963,15 +1021,15 @@ def _apply_cast(kind: str, value, from_type: ct.CType, to_type: ct.CType):
             return _wrap_int(int(value), to_type)
         return value
     if kind in ("fptosi", "fptoui"):
-        return _wrap_int(int(float(value)), to_type)
+        return _wrap_int(int(float_to_int_operand(float(value))), to_type)
     if kind in ("sitofp",):
-        return float(int(value))
+        result = float(int(value))
+        return round_f32(result) if to_type.size() == 4 else result
     if kind == "uitofp":
-        return float(_to_unsigned(int(value), from_type))
+        result = float(_to_unsigned(int(value), from_type))
+        return round_f32(result) if to_type.size() == 4 else result
     if kind == "fpext":
         return float(value)
     if kind == "fptrunc":
-        import struct as _struct
-
-        return _struct.unpack("<f", _struct.pack("<f", float(value)))[0]
+        return round_f32(float(value))
     raise VMError(f"unknown cast '{kind}'")

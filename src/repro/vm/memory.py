@@ -251,7 +251,16 @@ class Memory:
         )[0]
 
     def write_float(self, address: int, value: float, size: int) -> None:
-        self.write_bytes(address, struct.pack("<f" if size == 4 else "<d", value))
+        if size == 4:
+            # Defense in depth: float-typed values are rounded to binary32
+            # at the operation level (repro.vm.floatmath), so this is
+            # normally a no-op — but it keeps an out-of-range double from
+            # raising a host OverflowError out of struct.pack.
+            from repro.vm.floatmath import round_f32
+
+            self.write_bytes(address, struct.pack("<f", round_f32(value)))
+            return
+        self.write_bytes(address, struct.pack("<d", value))
 
     def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
         """Read a NUL-terminated byte string (faults propagate)."""

@@ -13,23 +13,11 @@ from repro.benchsuite.programs import WORKLOADS, get_workload
 from repro.core.pipeline import compile_source, harden_source
 from repro.rng.entropy import DeterministicEntropy
 from repro.rng.sources import make_source
-from repro.vm.interpreter import Machine
+from repro.vm.interpreter import RESULT_FIELDS, Machine
 
-COMPARED_FIELDS = (
-    "outcome",
-    "exit_code",
-    "fault_kind",
-    "fault_address",
-    "violation_check",
-    "violation_function",
-    "error_message",
-    "steps",
-    "cycles",
-    "max_rss",
-    "int_outputs",
-    "str_outputs",
-    "call_counts",
-)
+#: Every ExecutionResult field (output_data included): the canonical
+#: "bit-identical" definition, shared with the fuzzer's dispatch oracle.
+COMPARED_FIELDS = RESULT_FIELDS
 
 
 def assert_identical(fast, slow, label):
@@ -117,6 +105,71 @@ class TestErrorPathEquivalence:
         """
         fast, slow = run_both(source)
         assert_identical(fast, slow, "stack overflow write")
+
+    def test_oob_store_to_unmapped_gap_bit_identical(self):
+        # 0x300000 sits in the hole between the data segment and the
+        # heap: the store faults as "unmapped" with the same address on
+        # both dispatch paths.
+        fast, slow = run_both(
+            "int main() { long *p = (long *)3145728; *p = 1; return 0; }"
+        )
+        assert fast.outcome == "fault"
+        assert fast.fault_kind == "unmapped"
+        assert fast.fault_address == 0x300000
+        assert_identical(fast, slow, "unmapped store")
+
+    def test_runtime_division_by_zero_bit_identical(self):
+        # The divisor arrives through memory, so the predecoded engine
+        # cannot fold it: this exercises the runtime sdiv trap in the
+        # specialized binop step, not the decode-time constant path.
+        source = """
+        int main() {
+            int d[1];
+            d[0] = 0;
+            return 7 / d[0];
+        }
+        """
+        fast, slow = run_both(source)
+        assert fast.outcome == "trap"
+        assert_identical(fast, slow, "runtime div by zero")
+
+    def test_runtime_srem_by_zero_bit_identical(self):
+        source = """
+        int main() {
+            int z = 0;
+            int *p = &z;
+            return 7 % *p;
+        }
+        """
+        fast, slow = run_both(source)
+        assert fast.outcome == "trap"
+        assert_identical(fast, slow, "runtime srem by zero")
+
+    def test_step_limit_exact_boundary_bit_identical(self):
+        # Find the program's natural step count, then pin max_steps to
+        # exactly that (must exit) and one below (must hit the limit) —
+        # the off-by-one zone where the two engines' step accounting
+        # would first drift apart.
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 5; i = i + 1) { total = total + i; }
+            return total;
+        }
+        """
+        reference, _ = run_both(source)
+        assert reference.outcome == "exit"
+        natural = reference.steps
+
+        fast, slow = run_both(source, max_steps=natural)
+        assert fast.outcome == "exit"
+        assert_identical(fast, slow, "at exact step budget")
+
+        fast, slow = run_both(source, max_steps=natural - 1)
+        assert fast.outcome == "limit"
+        # The limit trips on the first step *past* the budget.
+        assert fast.steps == natural
+        assert_identical(fast, slow, "one step short")
 
 
 class TestDispatchToggle:

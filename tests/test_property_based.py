@@ -187,3 +187,177 @@ def test_optimizer_preserves_random_loop_programs(values, bound):
     optimized = Machine(compile_source(source, opt_level=2)).run()
     assert baseline.finished_cleanly() and optimized.finished_cleanly()
     assert optimized.exit_code == baseline.exit_code
+
+
+# -- gep/elemptr offset arithmetic ---------------------------------------------------
+
+elem_types = st.sampled_from([
+    ("char", 1), ("short", 2), ("int", 4), ("long", 8),
+])
+
+
+@given(elem_types, st.integers(0, 15))
+@settings(max_examples=25, deadline=None)
+def test_gep_constant_and_dynamic_index_agree(spec, index):
+    """a[k] through elemptr: fast dispatch (with its constant-folding
+    getters), slow dispatch, and the direct model must all agree."""
+    ctype, _size = spec
+    source = f"""
+    int main() {{
+        {ctype} a[16];
+        for (int i = 0; i < 16; i++) {{
+            a[i] = ({ctype})(i * 3 + 1);
+        }}
+        int k = {index};
+        return (int)(a[{index}] + a[k]);
+    }}"""
+    results = []
+    for fast_dispatch in (True, False):
+        result = Machine(
+            compile_source(source), fast_dispatch=fast_dispatch
+        ).run()
+        assert result.finished_cleanly()
+        results.append(result)
+    fast, slow = results
+    assert fast.exit_code == slow.exit_code
+    assert fast.exit_code == (2 * (index * 3 + 1)) & 0xFF
+
+
+@given(st.integers(-8, 7))
+@settings(max_examples=20, deadline=None)
+def test_gep_negative_pointer_index_wraps_identically(offset):
+    """p[k] for k < 0 exercises the elemptr wraparound (&_U64) path:
+    both dispatch modes must land on the same element."""
+    source = f"""
+    int main() {{
+        long a[16];
+        for (int i = 0; i < 16; i++) {{
+            a[i] = i * 5;
+        }}
+        long *p = &a[8];
+        return (int)(p[{offset}]);
+    }}"""
+    expected = (8 + offset) * 5
+    for fast_dispatch in (True, False):
+        result = Machine(
+            compile_source(source), fast_dispatch=fast_dispatch
+        ).run()
+        assert result.finished_cleanly()
+        assert result.exit_code == expected
+
+
+@given(st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=15, deadline=None)
+def test_gep_struct_array_field_chain(i, j):
+    """fieldptr + elemptr chains (s.arr[i]) match plain arithmetic."""
+    source = f"""
+    struct pair {{
+        long head;
+        long arr[4];
+    }};
+    int main() {{
+        struct pair s;
+        s.head = 100;
+        for (int k = 0; k < 4; k++) {{
+            s.arr[k] = k * 7;
+        }}
+        return (int)(s.arr[{i}] + s.arr[{j}] + s.head);
+    }}"""
+    for fast_dispatch in (True, False):
+        result = Machine(
+            compile_source(source), fast_dispatch=fast_dispatch
+        ).run()
+        assert result.finished_cleanly()
+        assert result.exit_code == i * 7 + j * 7 + 100
+
+
+# -- typed memory access at segment boundaries ---------------------------------------
+
+from repro.errors import VMFault  # noqa: E402
+from repro.vm.memory import HEAP_BASE, STACK_TOP  # noqa: E402
+
+int_sizes = st.sampled_from([1, 2, 4, 8])
+
+
+@given(st.integers(0, 2**64 - 1), int_sizes)
+def test_data_roundtrip_at_exact_segment_end(value, size):
+    """The last in-bounds address: the PR 1 fast path's boundary."""
+    memory = Memory()
+    memory.install("data", b"\x00" * 64)
+    address = DATA_BASE + 64 - size
+    memory.write_int(address, value, size)
+    mask = (1 << (size * 8)) - 1
+    assert memory.read_int(address, size, signed=False) == value & mask
+
+
+@given(st.integers(0, 2**64 - 1), int_sizes, st.integers(1, 8))
+def test_data_access_straddling_segment_end_faults(value, size, overhang):
+    """address + size crossing the segment end must fault (the fast path
+    falls through to the checked path), and must not partially write."""
+    memory = Memory()
+    memory.install("data", b"\x00" * 64)
+    address = DATA_BASE + 64 - size + overhang
+    before = bytes(memory.data.data)
+    with pytest.raises(VMFault):
+        memory.write_int(address, value, size)
+    with pytest.raises(VMFault):
+        memory.read_int(address, size, signed=False)
+    assert bytes(memory.data.data) == before
+
+
+@given(st.integers(0, 2**64 - 1), int_sizes)
+def test_stack_roundtrip_at_lowest_valid_address(value, size):
+    memory = Memory()
+    base = memory.stack.base
+    memory.write_int(base, value, size)
+    mask = (1 << (size * 8)) - 1
+    assert memory.read_int(base, size, signed=False) == value & mask
+
+
+@given(int_sizes)
+def test_stack_access_below_base_faults(size):
+    memory = Memory()
+    with pytest.raises(VMFault):
+        memory.read_int(memory.stack.base - size, size, signed=False)
+
+
+@given(st.integers(0, 2**64 - 1), int_sizes)
+def test_stack_roundtrip_at_top(value, size):
+    """STACK_TOP is exclusive: [TOP - size, TOP) is the last valid slot."""
+    memory = Memory()
+    address = STACK_TOP - size
+    memory.write_int(address, value, size)
+    mask = (1 << (size * 8)) - 1
+    assert memory.read_int(address, size, signed=False) == value & mask
+    with pytest.raises(VMFault):
+        memory.read_int(STACK_TOP - size + 1, size, signed=False)
+
+
+@given(st.integers(0, 2**64 - 1), int_sizes)
+def test_heap_boundary_tracks_heap_grow(value, size):
+    memory = Memory()
+    with pytest.raises(VMFault):
+        memory.read_int(HEAP_BASE, size, signed=False)  # nothing mapped yet
+    memory.heap_grow(32)
+    address = HEAP_BASE + 32 - size
+    memory.write_int(address, value, size)
+    mask = (1 << (size * 8)) - 1
+    assert memory.read_int(address, size, signed=False) == value & mask
+    with pytest.raises(VMFault):
+        memory.write_int(HEAP_BASE + 32 - size + 1, value, size)
+
+
+@given(st.integers(-(2**63), 2**63 - 1), int_sizes)
+def test_signed_roundtrip_matches_two_complement(value, size):
+    """write_int stores the masked bits; a signed read must recover the
+    two's-complement reinterpretation on every segment's fast path."""
+    memory = Memory()
+    memory.install("data", b"\x00" * 16)
+    memory.heap_grow(16)
+    mask = (1 << (size * 8)) - 1
+    expected = value & mask
+    if expected >= 1 << (size * 8 - 1):
+        expected -= 1 << (size * 8)
+    for address in (DATA_BASE, HEAP_BASE, memory.stack.base):
+        memory.write_int(address, value, size)
+        assert memory.read_int(address, size, signed=True) == expected
