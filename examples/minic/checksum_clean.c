@@ -1,0 +1,27 @@
+/* A well-behaved program: every access bounded, every local initialized.
+ * `repro analyze` should report no warnings or errors here — it is the
+ * negative control for the lint layer and the CI analyze stage.
+ */
+
+int checksum(char *data, int n) {
+    int sum;
+    int i;
+    sum = 0;
+    for (i = 0; i < n; i = i + 1) {
+        sum = sum + data[i];
+    }
+    return sum;
+}
+
+int main(void) {
+    char buf[32];
+    int got;
+    int total;
+    got = input_read(buf, 32);
+    if (got > 32) {
+        got = 32;
+    }
+    total = checksum(buf, got);
+    print_int(total);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/* A compact DOP-shaped victim for `repro analyze`:
+ *
+ *   python -m repro analyze examples/minic/vulnerable_logger.c --verbose --crosscheck
+ *
+ * The frame of format_entry places `level`, `quota` and the attacker's
+ * landing pad above `line`, so the unbounded copy is a textbook linear
+ * overflow: the analyzer reports the deterministic reach set, the
+ * attacker-bounded copy loop (interprocedural taint from main's
+ * input_read into the `n` parameter), and the exposure score.
+ */
+
+int format_entry(char *msg, int n) {
+    long quota;
+    int level;
+    char line[64];
+    int i;
+    quota = 4096;
+    level = 1;
+    i = 0;
+    /* No bound against sizeof(line): n is attacker-controlled. */
+    while (i < n) {
+        line[i] = msg[i];
+        i = i + 1;
+    }
+    line[0] = 35; /* '#' */
+    if (level > 0) {
+        output_bytes(line, quota);
+    }
+    return i;
+}
+
+int main(void) {
+    char packet[128];
+    int got;
+    got = input_read(packet, 128);
+    return format_entry(packet, got);
+}

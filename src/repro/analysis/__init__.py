@@ -1,13 +1,38 @@
-"""Static analyses: attacker-influence taint, DOP gadget discovery, and
-per-function randomization entropy reporting.
+"""Static analyses: attacker-influence taint, DOP gadget discovery,
+per-function randomization entropy reporting, and the ``repro analyze``
+layer — a dataflow framework (worklist solver, pluggable lattices) with
+overflow-reach, input-taint, lint, and DOP-exposure analyses on top,
+cross-checked against the VM.
 """
 
+from repro.analysis.crosscheck import (
+    CrosscheckResult,
+    crosscheck_function,
+    crosscheck_module,
+)
+from repro.analysis.dataflow import (
+    AnalysisError,
+    DataflowResult,
+    ForwardProblem,
+    IntersectLattice,
+    Lattice,
+    UnionLattice,
+    solve_forward,
+)
+from repro.analysis.driver import (
+    Finding,
+    ProgramReport,
+    analyze_program,
+    exit_status,
+    reports_to_json,
+)
 from repro.analysis.entropy import (
     FunctionEntropy,
     entropy_report,
     minimum_entropy_bits,
     render_entropy_report,
 )
+from repro.analysis.exposure import ExposureScore, score_function, score_module
 from repro.analysis.gadgets import (
     Dispatcher,
     Gadget,
@@ -16,18 +41,76 @@ from repro.analysis.gadgets import (
     find_dispatchers,
     find_gadgets,
 )
+from repro.analysis.lint import Diagnostic, lint_function, lint_module
+from repro.analysis.reach import (
+    MODELED_DEFENSES,
+    BufferReach,
+    FrameLayout,
+    Slot,
+    analyze_module_reach,
+    baseline_layout,
+    buffer_names,
+    defense_layouts,
+    frame_height,
+    overflow_reach,
+    reach_under_defense,
+    stacked_layout,
+)
 from repro.analysis.taint import TaintAnalysis
+from repro.analysis.taintflow import (
+    SinkHit,
+    TaintFlowAnalysis,
+    analyze_taint_flow,
+    attacker_param_indices,
+)
 
 __all__ = [
+    "AnalysisError",
+    "BufferReach",
+    "CrosscheckResult",
+    "DataflowResult",
+    "Diagnostic",
     "Dispatcher",
+    "ExposureScore",
+    "Finding",
+    "ForwardProblem",
+    "FrameLayout",
     "FunctionEntropy",
     "Gadget",
     "GadgetReport",
+    "IntersectLattice",
+    "Lattice",
+    "MODELED_DEFENSES",
+    "ProgramReport",
+    "SinkHit",
+    "Slot",
     "TaintAnalysis",
+    "TaintFlowAnalysis",
+    "UnionLattice",
     "analyze_module",
+    "analyze_module_reach",
+    "analyze_program",
+    "analyze_taint_flow",
+    "attacker_param_indices",
+    "baseline_layout",
+    "buffer_names",
+    "crosscheck_function",
+    "crosscheck_module",
+    "defense_layouts",
     "entropy_report",
+    "exit_status",
     "find_dispatchers",
     "find_gadgets",
+    "lint_function",
+    "lint_module",
     "minimum_entropy_bits",
+    "overflow_reach",
+    "reach_under_defense",
     "render_entropy_report",
+    "reports_to_json",
+    "score_function",
+    "score_module",
+    "frame_height",
+    "solve_forward",
+    "stacked_layout",
 ]

@@ -1,0 +1,227 @@
+"""Static-vs-dynamic overflow-reach cross-check (the analyzer's oracle).
+
+:mod:`repro.analysis.reach` *predicts* which sibling slots a linear
+overflow corrupts; this module *executes* the overflow and diffs memory.
+For every buffer the checker:
+
+1. pushes a real frame with :meth:`Machine.push_probe_frame` (the
+   authoritative layout — the same ``_push_frame`` the program runs on),
+2. fills every static slot and the return cookie with a sentinel
+   pattern,
+3. writes an overflow pattern of the probed length from the buffer's
+   base address,
+4. reads every slot back: a slot is *observed corrupted* iff any of its
+   bytes changed,
+5. compares the observed set (and cookie hit) against the static
+   prediction — exact equality, both directions, so the check catches
+   missed corruption (false negatives, the dangerous kind) *and*
+   over-claiming.
+
+Writes past the frame top would leave the probe frame (and, at the top
+of the stack, the segment), so the concrete write is capped there; the
+*escapes-the-frame* prediction is exactly "the cap engaged", which the
+checker verifies arithmetically.  Slot offsets themselves are also
+compared (model vs. ``alloca_addresses``), so a layout-model drift
+fails loudly even for lengths that corrupt nothing.
+
+Wired into the fuzz harness as the ``reach`` oracle, every campaign
+re-validates the analyzer against the VM on fresh random programs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, NamedTuple, Optional, Sequence
+
+from repro.analysis.reach import (
+    FrameLayout,
+    baseline_layout,
+    overflow_reach,
+    unique_slot_names,
+)
+from repro.core.allocations import discover_function
+from repro.ir.module import Function, Module
+from repro.vm.interpreter import Machine
+
+SENTINEL = 0xAA
+OVERFLOW_BYTE = 0x55
+
+
+class CrosscheckResult(NamedTuple):
+    """One executed overflow vs. its static prediction."""
+
+    function: str
+    buffer: str
+    length: int  # bytes actually written
+    predicted: FrozenSet[str]
+    observed: FrozenSet[str]
+    cookie_predicted: bool
+    cookie_observed: bool
+    layout_match: bool  # model offsets == VM alloca addresses
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.predicted == self.observed
+            and self.cookie_predicted == self.cookie_observed
+            and self.layout_match
+        )
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"{self.function}/{self.buffer}+{self.length}: ok "
+                f"({len(self.observed)} slots, cookie={self.cookie_observed})"
+            )
+        parts = [f"{self.function}/{self.buffer}+{self.length}: MISMATCH"]
+        missed = self.observed - self.predicted
+        over = self.predicted - self.observed
+        if missed:
+            parts.append(f"missed={sorted(missed)}")
+        if over:
+            parts.append(f"overclaimed={sorted(over)}")
+        if self.cookie_predicted != self.cookie_observed:
+            parts.append(
+                f"cookie predicted={self.cookie_predicted} "
+                f"observed={self.cookie_observed}"
+            )
+        if not self.layout_match:
+            parts.append("layout-model drift (offsets differ from VM)")
+        return " ".join(parts)
+
+
+def probe_lengths(layout: FrameLayout, buffer: str) -> List[int]:
+    """Overflow lengths worth probing for one buffer.
+
+    One byte over the end, a short stride past it, up to each further
+    slot boundary above the buffer, and the full distance to the frame
+    top (which crosses the cookie).
+    """
+    base = layout.slot(buffer)
+    lengths = {base.size + 1, base.size + 17, -base.lo}
+    for slot in layout.slots:
+        if slot.lo > base.lo:
+            lengths.add(slot.lo - base.lo + 1)
+    return sorted(length for length in lengths if length > 0)
+
+
+def crosscheck_function(
+    module: Module,
+    function: Function,
+    *,
+    canary: bool = False,
+    machine: Optional[Machine] = None,
+) -> List[CrosscheckResult]:
+    """Execute deliberate overflows for every buffer of ``function``."""
+    descriptor = discover_function(function)
+    if not descriptor.allocations:
+        return []
+    layout = baseline_layout(function, canary=canary)
+    own_machine = machine is None
+    if machine is None:
+        machine = Machine(module, stack_protector=canary)
+    results: List[CrosscheckResult] = []
+    names = unique_slot_names(descriptor.allocations)
+    buffers = [
+        names[id(allocation)]
+        for allocation in descriptor.allocations
+        if allocation.alloca is not None
+        and allocation.alloca.allocated_type.is_array()
+        and not allocation.name.startswith("__")
+    ]
+    for buffer in buffers:
+        for length in probe_lengths(layout, buffer):
+            results.append(
+                _probe_once(machine, function, layout, buffer, length)
+            )
+    return results
+
+
+def crosscheck_module(
+    module: Module, *, canary: bool = False
+) -> List[CrosscheckResult]:
+    """Cross-check every function of a (non-instrumented) module."""
+    machine = Machine(module, stack_protector=canary)
+    results: List[CrosscheckResult] = []
+    for function in module.functions.values():
+        results.extend(
+            crosscheck_function(
+                module, function, canary=canary, machine=machine
+            )
+        )
+    return results
+
+
+def _probe_once(
+    machine: Machine,
+    function: Function,
+    layout: FrameLayout,
+    buffer: str,
+    length: int,
+) -> CrosscheckResult:
+    descriptor = discover_function(function)
+    names = unique_slot_names(descriptor.allocations)
+    frame = machine.push_probe_frame(function.name)
+    memory = machine.memory
+    try:
+        # Model-vs-VM layout agreement: every slot's predicted offset must
+        # equal the concrete address _push_frame chose.
+        layout_match = True
+        addresses = {}
+        for allocation in descriptor.allocations:
+            name = names[id(allocation)]
+            address = frame.alloca_addresses[allocation.alloca]
+            addresses[name] = (address, allocation.size)
+            if layout.slot(name).lo != address - frame.frame_top:
+                layout_match = False
+
+        for address, size in addresses.values():
+            memory.write_bytes(address, bytes([SENTINEL]) * size)
+        cookie_before = memory.read_bytes(frame.ret_slot, 8)
+        canary_before = (
+            memory.read_bytes(frame.canary_addr, 8)
+            if frame.canary_addr is not None
+            else None
+        )
+
+        base_address, _ = addresses[buffer]
+        writable = frame.frame_top - base_address
+        concrete = min(length, writable)
+        memory.write_bytes(base_address, bytes([OVERFLOW_BYTE]) * concrete)
+
+        observed = frozenset(
+            name
+            for name, (address, size) in addresses.items()
+            if name != buffer
+            and not name.startswith("__")
+            and memory.read_bytes(address, size) != bytes([SENTINEL]) * size
+        )
+        cookie_observed = memory.read_bytes(frame.ret_slot, 8) != cookie_before
+        prediction = overflow_reach(layout, buffer, concrete)
+        # The capped tail (length > writable) is the escape case; the
+        # model must agree that those bytes leave the frame.
+        escape_consistent = (length > writable) == (
+            overflow_reach(layout, buffer, length).escapes
+        )
+        if canary_before is not None:
+            canary_observed = (
+                memory.read_bytes(frame.canary_addr, 8) != canary_before
+            )
+            escape_consistent = escape_consistent and (
+                canary_observed == prediction.canary
+            )
+        return CrosscheckResult(
+            function=function.name,
+            buffer=buffer,
+            length=concrete,
+            predicted=prediction.corrupted,
+            observed=observed,
+            cookie_predicted=prediction.cookie,
+            cookie_observed=cookie_observed,
+            layout_match=layout_match and escape_consistent,
+        )
+    finally:
+        machine.pop_probe_frame()
+
+
+def failing(results: Sequence[CrosscheckResult]) -> List[CrosscheckResult]:
+    return [result for result in results if not result.ok]

@@ -1,0 +1,326 @@
+"""The ``repro analyze`` driver: run all analyses, render text/JSON.
+
+One :class:`ProgramReport` per source file bundles the four analyses
+(overflow reach, taint/gadget sinks, lint diagnostics, exposure scores)
+plus the optional VM cross-check, as a flat list of findings with
+stable, per-program identifiers:
+
+=======  ==========================================  ========
+prefix   category                                    severity
+=======  ==========================================  ========
+``G``    taint-to-sink gadget finding                info
+``R``    deterministic overflow reach (baseline)     info
+``L``    lint (uninit load / constant OOB gep)       error/warning
+``X``    static-vs-VM cross-check mismatch           error
+=======  ==========================================  ========
+
+Identifiers are assigned in deterministic program order, so ``repro
+analyze f.c --explain G003`` names the same finding on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.analysis.crosscheck import CrosscheckResult, crosscheck_module
+from repro.analysis.exposure import ExposureScore, score_function
+from repro.analysis.lint import Diagnostic, lint_function
+from repro.analysis.reach import (
+    MODELED_DEFENSES,
+    BufferReach,
+    buffer_names,
+    reach_under_defense,
+)
+from repro.analysis.taintflow import (
+    SinkHit,
+    TaintFlowAnalysis,
+    attacker_param_indices,
+)
+from repro.core.pipeline import compile_source
+from repro.ir.module import Module
+from repro.ir.printer import format_instruction
+
+SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+_SINK_DESCRIPTIONS = {
+    "mover": "tainted pointer at a store (data-mover / write gadget)",
+    "deref": "tainted pointer at a load (dereference gadget)",
+    "index": "tainted index in address computation",
+    "arith": "tainted arithmetic feeding a store (arithmetic gadget)",
+    "conditional": "tainted branch condition (conditional gadget)",
+    "send": "tainted operand at an output builtin (send gadget)",
+}
+
+
+class Finding(NamedTuple):
+    """One analyzer finding, CLI-facing."""
+
+    id: str
+    severity: str  # error | warning | info
+    category: str
+    function: str
+    block: str
+    message: str
+
+
+class ProgramReport:
+    """Everything the analyzer knows about one program."""
+
+    def __init__(self, name: str, module: Module):
+        self.name = name
+        self.module = module
+        self.findings: List[Finding] = []
+        self.scores: List[ExposureScore] = []
+        self.reach: List[BufferReach] = []
+        self.crosscheck: List[CrosscheckResult] = []
+        #: finding id -> material for --explain
+        self._sinks: Dict[str, Tuple[TaintFlowAnalysis, SinkHit]] = {}
+        self._diagnostics: Dict[str, Diagnostic] = {}
+        self._reach_ids: Dict[str, BufferReach] = {}
+
+    # -- queries ---------------------------------------------------------------------
+
+    def worst_severity(self) -> str:
+        worst = "info"
+        for finding in self.findings:
+            if SEVERITY_RANK[finding.severity] > SEVERITY_RANK[worst]:
+                worst = finding.severity
+        return worst
+
+    def finding(self, finding_id: str) -> Optional[Finding]:
+        for finding in self.findings:
+            if finding.id == finding_id:
+                return finding
+        return None
+
+    def explain(self, finding_id: str) -> Optional[str]:
+        """Def-use chain / context for one finding, or None if unknown."""
+        finding = self.finding(finding_id)
+        if finding is None:
+            return None
+        lines = [f"{finding.id} [{finding.severity}] {finding.message}"]
+        if finding_id in self._sinks:
+            taint, sink = self._sinks[finding_id]
+            lines.append("def-use chain (source -> sink):")
+            for step in taint.explain_chain(sink):
+                lines.append(f"  {step}")
+            lines.append(f"  sink: {format_instruction(sink.instruction)}")
+        elif finding_id in self._diagnostics:
+            diag = self._diagnostics[finding_id]
+            if diag.instruction is not None:
+                lines.append(
+                    f"  at: {format_instruction(diag.instruction)} "
+                    f"(block {diag.block})"
+                )
+        elif finding_id in self._reach_ids:
+            reach = self._reach_ids[finding_id]
+            lines.append("reach under each defense (certain / possible):")
+            for entry in self.reach:
+                if (
+                    entry.function == reach.function
+                    and entry.buffer == reach.buffer
+                ):
+                    lines.append(
+                        f"  {entry.defense:<15} "
+                        f"certain={sorted(entry.certain)} "
+                        f"possible={sorted(entry.possible)} "
+                        f"cookie={entry.cookie_certain} "
+                        f"({entry.layouts} layouts)"
+                    )
+        return "\n".join(lines)
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.name,
+            "worst_severity": self.worst_severity(),
+            "findings": [f._asdict() for f in self.findings],
+            "exposure": [
+                {
+                    "function": s.function,
+                    "score": s.score,
+                    "buffers": s.buffers,
+                    "certain_reach_slots": s.certain_reach_slots,
+                    "cookie_reachable": s.cookie_reachable,
+                    "sinks": s.sink_counts,
+                    "lint": s.lint_counts,
+                }
+                for s in self.scores
+            ],
+            "reach": [
+                {
+                    "function": r.function,
+                    "buffer": r.buffer,
+                    "defense": r.defense,
+                    "certain": sorted(r.certain),
+                    "possible": sorted(r.possible),
+                    "cookie_certain": r.cookie_certain,
+                    "layouts": r.layouts,
+                }
+                for r in self.reach
+            ],
+            "crosscheck": {
+                "probes": len(self.crosscheck),
+                "mismatches": [
+                    c.describe() for c in self.crosscheck if not c.ok
+                ],
+            },
+        }
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines = [f"== {self.name} =="]
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        summary = (
+            ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            or "clean"
+        )
+        lines.append(f"findings: {summary}")
+        for finding in self.findings:
+            if finding.severity == "info" and not verbose:
+                continue
+            lines.append(
+                f"  {finding.id} [{finding.severity}] "
+                f"{finding.function}:{finding.block}: {finding.message}"
+            )
+        lines.append("exposure (highest first):")
+        for score in self.scores:
+            lines.append(f"  {score.describe()}")
+        if self.crosscheck:
+            bad = [c for c in self.crosscheck if not c.ok]
+            lines.append(
+                f"vm cross-check: {len(self.crosscheck)} probes, "
+                f"{len(bad)} mismatches"
+            )
+            for mismatch in bad:
+                lines.append(f"  {mismatch.describe()}")
+        return "\n".join(lines)
+
+
+def analyze_program(
+    source: str,
+    name: str = "<source>",
+    *,
+    opt_level: int = 0,
+    defenses: Sequence[str] = MODELED_DEFENSES,
+    samples: int = 64,
+    crosscheck: bool = False,
+) -> ProgramReport:
+    """Compile ``source`` and run the full analyzer over it."""
+    module = compile_source(source, opt_level=opt_level)
+    report = ProgramReport(name, module)
+    counters = {"G": 0, "R": 0, "L": 0, "X": 0}
+    param_map = attacker_param_indices(module)
+
+    def next_id(prefix: str) -> str:
+        counters[prefix] += 1
+        return f"{prefix}{counters[prefix]:03d}"
+
+    for function in module.functions.values():
+        taint = TaintFlowAnalysis(
+            function, module, tainted_params=param_map.get(function.name, ())
+        )
+        diagnostics = lint_function(function)
+        for sink in taint.sinks:
+            finding_id = next_id("G")
+            description = _SINK_DESCRIPTIONS.get(sink.kind, sink.kind)
+            report.findings.append(
+                Finding(
+                    finding_id,
+                    "info",
+                    f"gadget-{sink.kind}",
+                    sink.function,
+                    sink.block,
+                    description,
+                )
+            )
+            report._sinks[finding_id] = (taint, sink)
+        for diag in diagnostics:
+            finding_id = next_id("L")
+            report.findings.append(
+                Finding(
+                    finding_id,
+                    diag.severity,
+                    diag.category,
+                    diag.function,
+                    diag.block,
+                    diag.message,
+                )
+            )
+            report._diagnostics[finding_id] = diag
+        for buffer in buffer_names(function):
+            per_defense = [
+                reach_under_defense(
+                    function, buffer, defense, samples=samples
+                )
+                for defense in defenses
+            ]
+            report.reach.extend(per_defense)
+            baseline = next(
+                (r for r in per_defense if r.defense == "none"), None
+            )
+            if baseline is not None and (
+                baseline.certain or baseline.cookie_certain
+            ):
+                finding_id = next_id("R")
+                targets = sorted(baseline.certain)
+                if baseline.cookie_certain:
+                    targets.append("<return-cookie>")
+                report.findings.append(
+                    Finding(
+                        finding_id,
+                        "info",
+                        "overflow-reach",
+                        function.name,
+                        "entry",
+                        f"linear overflow from '{buffer}' deterministically "
+                        f"reaches {targets} under baseline layout",
+                    )
+                )
+                report._reach_ids[finding_id] = baseline
+        report.scores.append(
+            score_function(
+                function, module, taint=taint, diagnostics=diagnostics
+            )
+        )
+    report.scores.sort(key=lambda s: (-s.score, s.function))
+
+    if crosscheck:
+        report.crosscheck = crosscheck_module(module)
+        for probe in report.crosscheck:
+            if not probe.ok:
+                report.findings.append(
+                    Finding(
+                        next_id("X"),
+                        "error",
+                        "crosscheck-mismatch",
+                        probe.function,
+                        "entry",
+                        probe.describe(),
+                    )
+                )
+    return report
+
+
+def reports_to_json(reports: Sequence[ProgramReport]) -> str:
+    return json.dumps(
+        {"reports": [report.to_dict() for report in reports]},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def exit_status(
+    reports: Sequence[ProgramReport], fail_on: str = "error"
+) -> int:
+    """0 when every report is below the ``fail_on`` severity bar."""
+    if fail_on == "never":
+        return 0
+    bar = SEVERITY_RANK[fail_on]
+    for report in reports:
+        if SEVERITY_RANK[report.worst_severity()] >= bar:
+            return 1
+    return 0

@@ -1,0 +1,138 @@
+"""Per-function DOP-exposure score.
+
+A single comparable number summarising how much raw material a function
+offers a data-oriented attack, combining the other three analyses:
+
+* **reach** — how many sibling slots (plus the return cookie) a linear
+  overflow from each buffer *certainly* corrupts under the baseline
+  layout; deterministic reach is what makes a DOP write primitive
+  reliable (paper §II-A);
+* **taint** — how many input-tainted values arrive at gadget-shaped
+  sinks, weighted by kind (a tainted store pointer is a write-what-where;
+  a tainted branch condition is the dispatcher's fuel);
+* **lint** — uninitialized loads and constant OOB geps, the accidental
+  primitives.
+
+The score is a weighted sum, not a probability: it orders functions for
+triage and lets the report show *why* (the per-component breakdown), and
+it is what the ``repro analyze`` text report sorts by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.analysis.lint import Diagnostic, lint_function
+from repro.analysis.reach import (
+    BufferReach,
+    buffer_names,
+    reach_under_defense,
+)
+from repro.analysis.taintflow import SinkHit, TaintFlowAnalysis
+from repro.ir.module import Function, Module
+
+#: Sink-kind weights: write primitives dominate, reads/sends assist.
+SINK_WEIGHTS: Dict[str, float] = {
+    "mover": 4.0,
+    "arith": 3.0,
+    "deref": 2.0,
+    "index": 2.0,
+    "conditional": 1.5,
+    "send": 1.0,
+}
+
+REACH_SLOT_WEIGHT = 2.0
+REACH_COOKIE_WEIGHT = 1.0
+LINT_WEIGHTS = {"error": 2.0, "warning": 0.5}
+
+
+class ExposureScore(NamedTuple):
+    """Breakdown + total for one function."""
+
+    function: str
+    buffers: int
+    certain_reach_slots: int  # sum over buffers of baseline-certain siblings
+    cookie_reachable: int  # buffers whose overflow certainly hits the cookie
+    sink_counts: Dict[str, int]
+    lint_counts: Dict[str, int]
+    score: float
+
+    def describe(self) -> str:
+        sinks = (
+            ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.sink_counts.items())
+            )
+            or "none"
+        )
+        return (
+            f"{self.function}: score {self.score:.1f} "
+            f"(buffers={self.buffers}, certain-reach={self.certain_reach_slots}, "
+            f"cookie-reach={self.cookie_reachable}, sinks: {sinks})"
+        )
+
+
+def score_function(
+    function: Function,
+    module: Optional[Module] = None,
+    *,
+    taint: Optional[TaintFlowAnalysis] = None,
+    diagnostics: Optional[List[Diagnostic]] = None,
+) -> ExposureScore:
+    """Compute the exposure breakdown for one function.
+
+    Pass precomputed ``taint``/``diagnostics`` to avoid re-running the
+    underlying analyses when the driver already has them.
+    """
+    buffers = buffer_names(function)
+    certain_slots = 0
+    cookie_hits = 0
+    for buffer in buffers:
+        reach: BufferReach = reach_under_defense(function, buffer, "none")
+        certain_slots += len(reach.certain)
+        if reach.cookie_certain:
+            cookie_hits += 1
+
+    if taint is None:
+        taint = TaintFlowAnalysis(function, module)
+    sink_counts: Dict[str, int] = {}
+    for sink in taint.sinks:
+        sink_counts[sink.kind] = sink_counts.get(sink.kind, 0) + 1
+
+    if diagnostics is None:
+        diagnostics = lint_function(function)
+    lint_counts: Dict[str, int] = {}
+    for diag in diagnostics:
+        lint_counts[diag.severity] = lint_counts.get(diag.severity, 0) + 1
+
+    score = (
+        REACH_SLOT_WEIGHT * certain_slots
+        + REACH_COOKIE_WEIGHT * cookie_hits
+        + sum(
+            SINK_WEIGHTS.get(kind, 1.0) * count
+            for kind, count in sink_counts.items()
+        )
+        + sum(
+            LINT_WEIGHTS.get(severity, 1.0) * count
+            for severity, count in lint_counts.items()
+        )
+    )
+    return ExposureScore(
+        function=function.name,
+        buffers=len(buffers),
+        certain_reach_slots=certain_slots,
+        cookie_reachable=cookie_hits,
+        sink_counts=sink_counts,
+        lint_counts=lint_counts,
+        score=score,
+    )
+
+
+def score_module(module: Module) -> List[ExposureScore]:
+    """Exposure scores for every function, highest first."""
+    scores = [
+        score_function(function, module)
+        for function in module.functions.values()
+    ]
+    scores.sort(key=lambda s: (-s.score, s.function))
+    return scores

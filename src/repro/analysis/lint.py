@@ -1,0 +1,212 @@
+"""Lint diagnostics over the IR: uninitialized loads and constant OOB geps.
+
+Two checks ride on the dataflow framework:
+
+* **definite-initialization** — a must-analysis (IntersectLattice over
+  the function's static allocas): a root is *definitely initialized* at
+  a point iff every CFG path to it stores through the root, passes its
+  address to a callee (which may initialize it), or hands it to an
+  input builtin.  A load from a root outside that set is diagnosed —
+  as an ``error`` when no path anywhere in the function ever
+  initializes the root (the load can only yield frame garbage), as a
+  ``warning`` when some path does (path-sensitive maybe-uninit);
+* **constant-gep bounds** — an ``elemptr`` with a constant index into a
+  statically-sized array alloca/global is checked against the array
+  length: out of ``[0, n]`` is an ``error``; exactly ``n``
+  (one-past-the-end, legal C for address arithmetic) is an ``error``
+  only when the gep's address is actually loaded/stored.
+
+Uninitialized reads and deterministic out-of-bounds offsets are exactly
+the raw material of stack DOP gadgets, which is why these are the
+analyzer's lint layer rather than generic style checks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, NamedTuple, Optional, Set
+
+from repro.analysis.dataflow import ForwardProblem, IntersectLattice, solve_forward
+from repro.analysis.taintflow import INPUT_BUILTINS, pointer_root
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    ElemPtr,
+    Instruction,
+    Load,
+    Store,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import Constant, GlobalVariable
+
+
+class Diagnostic(NamedTuple):
+    """One lint finding."""
+
+    severity: str  # error | warning
+    category: str  # uninit-load | oob-gep
+    function: str
+    block: str
+    message: str
+    instruction: Optional[Instruction]
+
+
+class DefiniteInit(ForwardProblem):
+    """Must-analysis: which allocas are initialized on every path."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.universe = frozenset(
+            a for a in function.static_allocas() if a.is_static()
+        )
+        self.lattice = IntersectLattice(self.universe)
+
+    def entry_state(self, function: Function) -> FrozenSet:
+        return frozenset()  # nothing is initialized on entry
+
+    def transfer(self, inst: Instruction, state: FrozenSet) -> FrozenSet:
+        root = None
+        if isinstance(inst, Store):
+            root = pointer_root(inst.pointer)
+        elif isinstance(inst, Call):
+            # A callee receiving the address may write through it; for a
+            # must-analysis this is the safe (non-noisy) assumption, and
+            # input builtins genuinely fill their out-buffer.
+            for op in inst.args:
+                escaped = pointer_root(op)
+                if isinstance(escaped, Alloca) and escaped in self.universe:
+                    state = state | {escaped}
+            return state
+        if isinstance(root, Alloca) and root in self.universe:
+            return state | {root}
+        return state
+
+
+def ever_initialized_roots(function: Function) -> Set[Alloca]:
+    """Allocas some instruction anywhere stores to / escapes (flow-free)."""
+    roots: Set[Alloca] = set()
+    for inst in function.instructions():
+        if isinstance(inst, Store):
+            root = pointer_root(inst.pointer)
+            if isinstance(root, Alloca):
+                roots.add(root)
+        elif isinstance(inst, Call):
+            for op in inst.args:
+                root = pointer_root(op)
+                if isinstance(root, Alloca):
+                    roots.add(root)
+    return roots
+
+
+def check_uninitialized_loads(function: Function) -> List[Diagnostic]:
+    problem = DefiniteInit(function)
+    if not problem.universe:
+        return []
+    result = solve_forward(function, problem)
+    ever = ever_initialized_roots(function)
+    out: List[Diagnostic] = []
+    reported: Set[tuple] = set()
+    for block in function.blocks:
+        for inst, state in result.states_in(block):
+            if not isinstance(inst, Load):
+                continue
+            root = pointer_root(inst.pointer)
+            if not isinstance(root, Alloca) or root not in problem.universe:
+                continue
+            if root in state:
+                continue
+            severity = "warning" if root in ever else "error"
+            key = (id(inst), root.var_name)
+            if key in reported:
+                continue
+            reported.add(key)
+            name = root.var_name or root.name
+            detail = (
+                "is never initialized"
+                if severity == "error"
+                else "may be uninitialized on some path"
+            )
+            out.append(
+                Diagnostic(
+                    severity,
+                    "uninit-load",
+                    function.name,
+                    block.label,
+                    f"load from '{name}' which {detail}",
+                    inst,
+                )
+            )
+    return out
+
+
+def check_constant_geps(function: Function) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    dereferenced = {
+        id(inst.pointer)
+        for inst in function.instructions()
+        if isinstance(inst, (Load, Store))
+    }
+    for inst in function.instructions():
+        if not isinstance(inst, ElemPtr):
+            continue
+        index = inst.index
+        # The front end sign-extends literal indices; look through
+        # value-preserving integer casts to the constant underneath.
+        while isinstance(index, Cast) and index.kind in ("sext", "zext"):
+            index = index.operands[0]
+        if not isinstance(index, Constant):
+            continue
+        base = inst.operands[0]
+        length = _static_array_length(base)
+        if length is None:
+            continue
+        idx = index.value
+        name = getattr(base, "var_name", None) or getattr(base, "name", "?")
+        if idx < 0 or idx > length:
+            out.append(
+                Diagnostic(
+                    "error",
+                    "oob-gep",
+                    function.name,
+                    inst.block.label if inst.block else "?",
+                    f"constant index {idx} out of bounds for "
+                    f"'{name}[{length}]'",
+                    inst,
+                )
+            )
+        elif idx == length and id(inst) in dereferenced:
+            out.append(
+                Diagnostic(
+                    "error",
+                    "oob-gep",
+                    function.name,
+                    inst.block.label if inst.block else "?",
+                    f"one-past-the-end index {idx} of '{name}[{length}]' "
+                    "is dereferenced",
+                    inst,
+                )
+            )
+    return out
+
+
+def _static_array_length(base) -> Optional[int]:
+    if isinstance(base, Alloca) and base.is_static():
+        allocated = base.allocated_type
+    elif isinstance(base, GlobalVariable):
+        allocated = base.value_type
+    else:
+        return None
+    if allocated is not None and allocated.is_array():
+        return allocated.length
+    return None
+
+
+def lint_function(function: Function) -> List[Diagnostic]:
+    return check_uninitialized_loads(function) + check_constant_geps(function)
+
+
+def lint_module(module: Module) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for function in module.functions.values():
+        out.extend(lint_function(function))
+    return out

@@ -1,0 +1,407 @@
+"""Stack-layout overflow-reach analysis (symbolic, no execution).
+
+For every ``alloca``'d buffer this module answers the question the DOP
+attacker asks first: *which sibling slots does a linear overflow from
+this buffer corrupt?* — under the baseline layout and under each
+registered defense's family of layouts.
+
+The frame model mirrors :meth:`repro.vm.interpreter.Machine._push_frame`
+byte for byte, in frame-top-relative coordinates (frame top = 0, slots
+at negative offsets, the return cookie at ``[-8, 0)``, the optional
+canary directly below it).  An overflow writes *toward higher
+addresses*: ``length`` bytes from the buffer's base corrupt every slot
+overlapping ``[buffer.lo, buffer.lo + length)``, then the cookie, then
+the caller's frame.
+
+Defenses are modelled by the *set of layouts* they can deploy:
+
+====================  ===========================================
+``none`` / ``aslr``   one layout (ASLR shifts the base, not the
+                      intra-frame distances)
+``canary``            one layout, canary slot below the cookie
+``padding``           8 layouts — one per Forrest pad choice
+``static-permute``    sampled permutations of the declaration order
+``smokestack``        the function's own permutation-table rows
+                      inside the unified frame (plus fnid slot)
+====================  ===========================================
+
+``certain`` facts hold in *every* layout of the family (what a blind,
+single-shot DOP exploit can rely on); ``possible`` facts hold in at
+least one (what a brute-forcing attacker can eventually hit).  The
+paper's claim, restated in these terms: Smokestack shrinks ``certain``
+to (near) nothing while prior schemes leave it intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.allocations import StackAllocation, discover_function
+from repro.core.config import SmokestackConfig
+from repro.core.instrument import FNID_SLOT_NAME
+from repro.core.permutation import generate_table
+from repro.defenses.padding import MIN_FRAME_SIZE, PAD_CHOICES, PAD_SLOT_NAME
+from repro.ir.module import Function, Module
+
+#: Defense families the symbolic model understands.
+MODELED_DEFENSES = (
+    "none",
+    "canary",
+    "aslr",
+    "padding",
+    "static-permute",
+    "smokestack",
+)
+
+COOKIE = "<return-cookie>"
+CANARY = "<canary>"
+CALLER = "<caller-frame>"
+
+
+def _align_down(value: int, alignment: int) -> int:
+    return value & ~(alignment - 1)
+
+
+class Slot(NamedTuple):
+    """One stack object in one concrete layout."""
+
+    name: str
+    lo: int  # frame-top-relative byte offset of the slot's lowest byte
+    size: int
+
+    @property
+    def hi(self) -> int:
+        return self.lo + self.size
+
+    @property
+    def synthetic(self) -> bool:
+        return self.name.startswith("__")
+
+
+class FrameLayout(NamedTuple):
+    """One concrete frame layout in frame-top-relative coordinates."""
+
+    function: str
+    slots: Tuple[Slot, ...]
+    has_canary: bool
+
+    def slot(self, name: str) -> Slot:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise KeyError(f"no slot '{name}' in frame of '{self.function}'")
+
+    def named_slots(self) -> Tuple[Slot, ...]:
+        return tuple(s for s in self.slots if not s.synthetic)
+
+
+class ReachSet(NamedTuple):
+    """What one overflow corrupts in one concrete layout."""
+
+    corrupted: FrozenSet[str]  # non-synthetic sibling slot names
+    cookie: bool
+    canary: bool
+    escapes: bool  # writes past the frame top into the caller
+
+
+class BufferReach(NamedTuple):
+    """Reach summary of one buffer under one defense's layout family."""
+
+    function: str
+    buffer: str
+    defense: str
+    certain: FrozenSet[str]  # corrupted in every layout
+    possible: FrozenSet[str]  # corrupted in at least one layout
+    cookie_certain: bool
+    layouts: int
+
+
+def unique_slot_names(
+    allocations: Sequence[StackAllocation],
+) -> Dict[int, str]:
+    """id(allocation) -> unique slot name.
+
+    Source scopes let the same variable name appear twice in a frame
+    (``for (int i...)`` twice); slot names must stay unique so reach
+    sets and layout diffs can be keyed by name.  Later duplicates get a
+    stable ``@N`` suffix based on *descriptor* (declaration) order, so
+    the same allocation keeps the same name across permuted layouts.
+    """
+    counts: Dict[str, int] = {}
+    names: Dict[int, str] = {}
+    for allocation in allocations:
+        counts[allocation.name] = counts.get(allocation.name, 0) + 1
+        occurrence = counts[allocation.name]
+        names[id(allocation)] = (
+            allocation.name
+            if occurrence == 1
+            else f"{allocation.name}@{occurrence}"
+        )
+    return names
+
+
+def allocation_slots(
+    allocations: Sequence[StackAllocation],
+    *,
+    canary: bool,
+    names: Optional[Dict[int, str]] = None,
+) -> Tuple[Slot, ...]:
+    """Lay ``allocations`` out in the given order, exactly as the VM does.
+
+    The cursor starts below the 8-byte return cookie (and the canary, if
+    present) and moves down: ``cursor -= size; align_down(cursor, align)``.
+    Frame-top-relative offsets equal absolute ones for alignments up to
+    the 16-byte frame-top alignment, so the model is exact.  ``names``
+    (from :func:`unique_slot_names`, usually over the declaration order)
+    overrides the per-slot display names.
+    """
+    if names is None:
+        names = unique_slot_names(allocations)
+    cursor = -8
+    if canary:
+        cursor -= 8
+    slots: List[Slot] = []
+    for allocation in allocations:
+        cursor -= allocation.size
+        cursor = _align_down(cursor, allocation.align)
+        slots.append(Slot(names[id(allocation)], cursor, allocation.size))
+    return tuple(slots)
+
+
+def baseline_layout(function: Function, *, canary: bool = False) -> FrameLayout:
+    """Declaration-order layout — what the attacker's static analysis sees."""
+    descriptor = discover_function(function)
+    return FrameLayout(
+        function.name,
+        allocation_slots(descriptor.allocations, canary=canary),
+        has_canary=canary,
+    )
+
+
+def overflow_reach(
+    layout: FrameLayout, buffer: str, length: int
+) -> ReachSet:
+    """Corruption of a ``length``-byte linear overflow from ``buffer``."""
+    base = layout.slot(buffer)
+    end = base.lo + length
+    corrupted = frozenset(
+        slot.name
+        for slot in layout.slots
+        if slot.name != buffer
+        and not slot.synthetic
+        and slot.lo < end
+        and slot.hi > base.lo
+    )
+    canary_hit = layout.has_canary and end > -16
+    return ReachSet(
+        corrupted=corrupted,
+        cookie=end > -8,
+        canary=canary_hit,
+        escapes=end > 0,
+    )
+
+
+def intra_frame_reach(layout: FrameLayout, buffer: str) -> ReachSet:
+    """Reach of the longest overflow that stays inside this frame."""
+    base = layout.slot(buffer)
+    return overflow_reach(layout, buffer, -base.lo)
+
+
+def frame_height(layout: FrameLayout) -> int:
+    """Bytes from the frame base (16-aligned) to the frame top."""
+    lowest = min(
+        [slot.lo for slot in layout.slots]
+        + [-16 if layout.has_canary else -8]
+    )
+    return -_align_down(lowest, 16)
+
+
+def stacked_layout(
+    caller: Function,
+    victim: Function,
+    *,
+    canary: bool = False,
+    prefix: Optional[str] = None,
+) -> FrameLayout:
+    """Two-frame layout: ``victim``'s frame directly below ``caller``'s.
+
+    The VM pushes the callee's frame at the caller's frame base (both
+    16-aligned), so in victim-frame-top coordinates the caller's slots
+    sit at ``slot.lo + height(caller frame)``.  This is the layout an
+    *inter-frame* overflow weaponizes — the librelp and ProFTPD attacks
+    corrupt the caller's locals this way — and caller slots are
+    prefixed (``"<caller>:"`` by default) so the combined name space
+    stays unambiguous.  The victim's return cookie still sits at
+    ``[-8, 0)``; the caller's own cookie is not modelled (corrupting it
+    only matters after the caller returns).
+    """
+    caller_frame = baseline_layout(caller, canary=canary)
+    victim_frame = baseline_layout(victim, canary=canary)
+    height = frame_height(caller_frame)
+    tag = prefix if prefix is not None else f"{caller.name}:"
+    slots = victim_frame.slots + tuple(
+        Slot(tag + slot.name, slot.lo + height, slot.size)
+        for slot in caller_frame.slots
+    )
+    return FrameLayout(victim.name, slots, has_canary=canary)
+
+
+def buffer_names(function: Function) -> List[str]:
+    """Source-named array locals — the overflowable objects.
+
+    Names match the slot names of :func:`baseline_layout` (duplicate
+    declarations carry their ``@N`` suffix).
+    """
+    descriptor = discover_function(function)
+    names = unique_slot_names(descriptor.allocations)
+    out: List[str] = []
+    for allocation in descriptor.allocations:
+        alloca = allocation.alloca
+        if alloca is None or not alloca.var_name:
+            continue
+        if alloca.var_name.startswith("__"):
+            continue
+        if alloca.allocated_type.is_array():
+            out.append(names[id(allocation)])
+    return out
+
+
+def defense_layouts(
+    function: Function,
+    defense: str,
+    *,
+    samples: int = 64,
+    seed: int = 0,
+) -> List[FrameLayout]:
+    """The family of concrete layouts ``defense`` can deploy for ``function``.
+
+    For randomized schemes the family is sampled (seeded, deterministic);
+    ``certain`` facts computed from a sample are conservative in the safe
+    direction — a slot must survive every sampled layout to stay certain.
+    """
+    descriptor = discover_function(function)
+    allocations = list(descriptor.allocations)
+    if defense in ("none", "aslr"):
+        return [baseline_layout(function)]
+    if defense == "canary":
+        return [baseline_layout(function, canary=True)]
+    if defense == "padding":
+        if descriptor.total_unpermuted_size() <= MIN_FRAME_SIZE:
+            return [baseline_layout(function)]
+        layouts = []
+        for pad in PAD_CHOICES:
+            padded = [StackAllocation(PAD_SLOT_NAME, pad, 8)] + allocations
+            layouts.append(
+                FrameLayout(
+                    function.name,
+                    allocation_slots(padded, canary=False),
+                    has_canary=False,
+                )
+            )
+        return layouts
+    if defense == "static-permute":
+        if len(allocations) < 2:
+            return [baseline_layout(function)]
+        names = unique_slot_names(allocations)
+        table = generate_table(allocations, max_rows=samples, seed=seed)
+        layouts = []
+        for row in table.rows:
+            order = sorted(range(len(allocations)), key=row.__getitem__)
+            ordered = [allocations[i] for i in reversed(order)]
+            layouts.append(
+                FrameLayout(
+                    function.name,
+                    allocation_slots(ordered, canary=False, names=names),
+                    has_canary=False,
+                )
+            )
+        return layouts
+    if defense == "smokestack":
+        return smokestack_layouts(function, samples=samples, seed=seed)
+    raise ValueError(
+        f"unknown defense '{defense}'; modeled: {MODELED_DEFENSES}"
+    )
+
+
+def smokestack_layouts(
+    function: Function, *, samples: int = 64, seed: int = 0
+) -> List[FrameLayout]:
+    """Per-invocation layouts: permutation-table rows in the unified frame.
+
+    Row offsets grow *upward* from the unified frame's base (the
+    instrumentation GEPs ``frame + offset``), so a larger row offset is a
+    higher address.  The fnid slot participates in the permutation just
+    as the real pass arranges (it replaces the stack protector).
+    """
+    descriptor = discover_function(function)
+    allocations = list(descriptor.allocations)
+    if not allocations:
+        return [baseline_layout(function)]
+    config = SmokestackConfig()
+    if config.fnid_checks:
+        allocations.append(
+            StackAllocation(FNID_SLOT_NAME, 8, 8, index=len(allocations))
+        )
+    names = unique_slot_names(allocations)
+    table = generate_table(allocations, max_rows=samples, seed=seed)
+    # The unified frame: one 16-aligned char array below the cookie.
+    frame_lo = _align_down(-8 - table.total_size, 16)
+    layouts = []
+    for row in table.rows:
+        slots = tuple(
+            Slot(names[id(allocation)], frame_lo + offset, allocation.size)
+            for allocation, offset in zip(allocations, row)
+        )
+        layouts.append(FrameLayout(function.name, slots, has_canary=False))
+    return layouts
+
+
+def reach_under_defense(
+    function: Function,
+    buffer: str,
+    defense: str,
+    *,
+    samples: int = 64,
+    seed: int = 0,
+) -> BufferReach:
+    """certain/possible intra-frame reach of ``buffer`` under ``defense``."""
+    layouts = defense_layouts(function, defense, samples=samples, seed=seed)
+    certain: Optional[FrozenSet[str]] = None
+    possible: FrozenSet[str] = frozenset()
+    cookie_certain = True
+    for layout in layouts:
+        reach = intra_frame_reach(layout, buffer)
+        certain = (
+            reach.corrupted if certain is None else certain & reach.corrupted
+        )
+        possible = possible | reach.corrupted
+        cookie_certain = cookie_certain and reach.cookie
+    return BufferReach(
+        function=function.name,
+        buffer=buffer,
+        defense=defense,
+        certain=certain or frozenset(),
+        possible=possible,
+        cookie_certain=cookie_certain,
+        layouts=len(layouts),
+    )
+
+
+def analyze_module_reach(
+    module: Module,
+    defenses: Sequence[str] = MODELED_DEFENSES,
+    *,
+    samples: int = 64,
+    seed: int = 0,
+) -> List[BufferReach]:
+    """Reach summaries for every buffer × defense in the module."""
+    out: List[BufferReach] = []
+    for function in module.functions.values():
+        for buffer in buffer_names(function):
+            for defense in defenses:
+                out.append(
+                    reach_under_defense(
+                        function, buffer, defense, samples=samples, seed=seed
+                    )
+                )
+    return out

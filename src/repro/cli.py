@@ -6,6 +6,7 @@ Commands
 ``harden``   harden with Smokestack and execute (optionally many runs)
 ``ir``       dump the (optionally optimized / hardened) IR
 ``gadgets``  DOP gadget census of a program
+``analyze``  static DOP-surface analysis: reach, taint, lint, exposure
 ``entropy``  per-function layout entropy of a hardened build
 ``attack``   replay a named attack campaign against a chosen defense
 ``bench``    run a slice of the Figure 3 measurement campaign
@@ -119,6 +120,58 @@ def cmd_gadgets(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze_program, exit_status, reports_to_json
+    from repro.errors import ReproError
+
+    sources = [(path, _read_source(path)) for path in args.files]
+    if args.benchsuite:
+        from repro.benchsuite import WORKLOADS
+
+        sources.extend(
+            (f"benchsuite:{name}", workload.source)
+            for name, workload in sorted(WORKLOADS.items())
+        )
+    if not sources:
+        print("nothing to analyze: pass source files and/or --benchsuite")
+        return 2
+
+    reports = []
+    for name, source in sources:
+        try:
+            reports.append(
+                analyze_program(
+                    source,
+                    name,
+                    opt_level=args.opt,
+                    crosscheck=args.crosscheck,
+                )
+            )
+        except ReproError as exc:
+            print(f"== {name} ==")
+            print(f"compile error: {type(exc).__name__}: {exc}")
+            return 2
+
+    if args.explain:
+        for report in reports:
+            text = report.explain(args.explain)
+            if text is not None:
+                print(f"-- {report.name} --")
+                print(text)
+                return 0
+        print(f"no finding with id {args.explain!r}")
+        return 2
+
+    for report in reports:
+        print(report.format_text(verbose=args.verbose))
+        print()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(reports_to_json(reports))
+        print(f"json report -> {args.json}")
+    return exit_status(reports, args.fail_on)
+
+
 def cmd_entropy(args) -> int:
     hardened = harden_source(
         _read_source(args.file),
@@ -220,6 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.set_defaults(func=cmd_gadgets)
 
+    p = sub.add_parser("analyze", help="static DOP-surface analysis / lint")
+    p.add_argument("files", nargs="*", help="Mini-C source files")
+    p.add_argument("--benchsuite", action="store_true",
+                   help="also analyze every benchsuite workload")
+    p.add_argument("--opt", type=int, default=0, choices=(0, 1, 2),
+                   help="optimization level (default 0)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the full JSON report here")
+    p.add_argument("--fail-on", choices=("error", "warning", "never"),
+                   default="error",
+                   help="exit nonzero at this severity (default error)")
+    p.add_argument("--crosscheck", action="store_true",
+                   help="validate reach predictions by executing "
+                        "deliberate overflows in the VM")
+    p.add_argument("--explain", metavar="ID",
+                   help="print the def-use chain for one finding and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="list info-level findings too")
+    p.set_defaults(func=cmd_analyze)
+
     p = sub.add_parser("entropy", help="layout entropy report")
     add_common(p, harden_opts=True)
     p.set_defaults(func=cmd_entropy)
@@ -245,7 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default 1)")
     p.add_argument("--oracles", nargs="*", default=None,
-                   help="subset of: dispatch opt harden aes (default all)")
+                   help="subset of: dispatch opt harden aes reach "
+                        "(default all)")
     p.add_argument("--harden-seeds", type=int, default=2,
                    help="permutation seeds per program (default 2)")
     p.add_argument("--corpus-dir", default="corpus",

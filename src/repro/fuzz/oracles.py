@@ -22,6 +22,11 @@ oracles cross-check the builds:
     The T-table AES powering the hardened build's reseed stream must
     emit the same values as the byte-level FIPS-197 reference cipher,
     including across reseed boundaries.
+``reach``
+    The static stack-layout model behind ``repro analyze`` must agree
+    with the VM: for every buffer of the O0 module, deliberate
+    overflows executed in probe frames corrupt exactly the slots (and
+    cookie) the overflow-reach analysis predicts.
 
 Any host Python exception escaping ``Machine.run`` is itself a finding:
 the VM's contract is that guest behavior — however degenerate — lands in
@@ -52,7 +57,7 @@ DEFAULT_MAX_STEPS = 20_000_000
 #: Permutation seeds the harden oracle runs under.
 DEFAULT_HARDEN_SEEDS: Tuple[int, ...] = (1, 2)
 
-ALL_ORACLES: Tuple[str, ...] = ("dispatch", "opt", "harden", "aes")
+ALL_ORACLES: Tuple[str, ...] = ("dispatch", "opt", "harden", "aes", "reach")
 
 #: Observables plus the layout-invariant cost model: compared across
 #: permutation seeds of the *same* hardened build.
@@ -203,6 +208,9 @@ def check_program(
                     OracleFinding("opt", f"O0 vs O2: {line}")
                 )
 
+    if "reach" in program_oracles:
+        _check_reach(verdict, baseline_module)
+
     if "harden" in program_oracles:
         hardened = harden_module(
             build(), SmokestackConfig(scheme="pseudo")
@@ -238,6 +246,26 @@ def check_program(
                     )
 
     return verdict
+
+
+def _check_reach(verdict: ProgramVerdict, baseline_module) -> None:
+    """Static overflow-reach predictions vs. executed probe overflows."""
+    from repro.analysis.crosscheck import crosscheck_module
+
+    try:
+        results = crosscheck_module(baseline_module)
+    except Exception as exc:  # noqa: BLE001 - escaping at all is the bug
+        verdict.findings.append(
+            OracleFinding(
+                "reach", f"host-exception: {type(exc).__name__}: {exc}"
+            )
+        )
+        return
+    for result in results:
+        if not result.ok:
+            verdict.findings.append(
+                OracleFinding("reach", result.describe())
+            )
 
 
 #: Values drawn per AES comparison; the small interval forces several

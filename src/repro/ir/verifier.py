@@ -8,6 +8,10 @@ instead of corrupting a simulation run:
 * branch targets belong to the same function,
 * instruction operands are defined in the same function (or are
   constants/arguments/globals of the module),
+* every use is *dominated* by its definition: a same-block def precedes
+  the use, a cross-block def's block dominates the use's block, and a
+  phi incoming is available at the end of its predecessor (unreachable
+  code is exempt — it never executes),
 * loads/stores type-check against their pointer operand,
 * calls reference functions that exist in the module or known builtins,
   with matching arity,
@@ -82,6 +86,70 @@ def verify_function(function: Function, module: Module) -> None:
             else:
                 seen_non_phi = True
             _verify_instruction(inst, function, module, defined, block_set)
+    _verify_dominance(function)
+
+
+def _verify_dominance(function: Function) -> None:
+    """Def-before-use, properly: every use dominated by its definition.
+
+    Membership in the function (checked above) is not enough — an IR
+    producer can reference a value from a block that never executes
+    before the use, which the interpreter only discovers as a dynamic
+    "value has no binding" trap.  Dominance catches it at compile time.
+    Uses inside unreachable blocks are exempt: they cannot execute, and
+    passes legitimately leave orphaned blocks behind.
+    """
+    # Imported here: repro.opt.cfg has no dependencies back on the
+    # verifier, but keeping the import local avoids any ir<->opt import
+    # cycle at module load time.
+    from repro.opt.cfg import DominatorTree, reachable_blocks
+
+    reachable = reachable_blocks(function)
+    dom = DominatorTree(function)
+    position = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[id(inst)] = (block, index)
+
+    def check_use(operand, use_block, use_index, what: str) -> None:
+        if not isinstance(operand, Instruction):
+            return
+        def_pos = position.get(id(operand))
+        if def_pos is None:
+            return  # foreign-operand error already raised above
+        def_block, def_index = def_pos
+        if def_block is use_block:
+            if def_index < use_index:
+                return
+        elif def_block in reachable and dom.dominates(def_block, use_block):
+            return
+        raise VerifierError(
+            f"use of %{operand.name or id(operand)} in block "
+            f"'{use_block.label}' of '{function.name}' is not dominated "
+            f"by its definition in '{def_block.label}' ({what})"
+        )
+
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for value, pred in inst.incomings:
+                    if not isinstance(value, Instruction):
+                        continue
+                    # The incoming value must be available when control
+                    # leaves ``pred``: its def must dominate ``pred``.
+                    if pred not in reachable:
+                        continue
+                    check_use(
+                        value,
+                        pred,
+                        len(pred.instructions),
+                        f"phi incoming from '{pred.label}'",
+                    )
+                continue
+            for operand in inst.operands:
+                check_use(operand, block, index, "operand")
 
 
 def _verify_instruction(

@@ -356,6 +356,27 @@ class Machine:
                 offsets[alloca.var_name] = cursor
         return offsets
 
+    def push_probe_frame(self, function_name: str) -> Frame:
+        """Push a real frame for layout probing, without executing code.
+
+        Analysis tooling (the overflow-reach cross-check) uses this to ask
+        the authoritative layout question — where does ``_push_frame`` put
+        each slot? — and then corrupt the frame deliberately.  Arguments
+        are zero-filled; unwind with :meth:`pop_probe_frame`, which skips
+        the cookie/canary epilogue checks so a smashed probe frame pops
+        cleanly.
+        """
+        function = self.module.get_function(function_name)
+        self._push_frame(function, [0] * len(function.params), call_site=None)
+        return self.frames[-1]
+
+    def pop_probe_frame(self) -> None:
+        """Discard the top probe frame (no integrity checks, no return)."""
+        if not self.frames:
+            raise VMError("no probe frame to pop")
+        self.frames.pop()
+        self._sp = self.frames[-1].sp if self.frames else self._stack_top
+
     # -- frame management ---------------------------------------------------------------
 
     def _push_frame(

@@ -154,3 +154,92 @@ class TestParser:
         out = capsys.readouterr().out
         assert status == 0
         assert "xalancbmk" in out
+
+
+OVERFLOWING = """
+int main() {
+    long quota;
+    int level;
+    char line[16];
+    int n;
+    quota = 1;
+    level = 2;
+    n = input_read(line, 64);
+    if (n > 0) { return level; }
+    return (int)quota;
+}
+"""
+
+
+@pytest.fixture
+def overflowing_file(tmp_path):
+    path = tmp_path / "overflowing.c"
+    path.write_text(OVERFLOWING)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_reports_findings(self, overflowing_file, capsys):
+        status = main(["analyze", overflowing_file])
+        out = capsys.readouterr().out
+        assert status == 0  # info findings don't trip --fail-on=error
+        assert "exposure" in out
+        assert "main" in out
+
+    def test_analyze_json_artifact(self, overflowing_file, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        status = main(
+            ["analyze", overflowing_file, "--json", str(artifact)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        import json
+
+        blob = json.loads(artifact.read_text())
+        assert blob["reports"][0]["findings"]
+
+    def test_analyze_crosscheck_runs_clean(self, overflowing_file, capsys):
+        status = main(["analyze", overflowing_file, "--crosscheck"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 mismatches" in out
+
+    def test_analyze_fail_on_error(self, tmp_path, capsys):
+        bad = tmp_path / "oob.c"
+        bad.write_text(
+            "int main() { char b[4]; b[9] = 1; return 0; }"
+        )
+        assert main(["analyze", str(bad)]) == 1
+        capsys.readouterr()
+        assert main(["analyze", str(bad), "--fail-on", "never"]) == 0
+
+    def test_analyze_explain_finding(self, overflowing_file, capsys):
+        status = main(["analyze", overflowing_file, "--verbose"])
+        out = capsys.readouterr().out
+        assert status == 0
+        import re
+
+        ids = re.findall(r"\b([GR]\d{3})\b", out)
+        assert ids, out
+        status = main(["analyze", overflowing_file, "--explain", ids[0]])
+        explained = capsys.readouterr().out
+        assert status == 0
+        assert ids[0] in explained
+
+    def test_analyze_explain_unknown_id(self, overflowing_file, capsys):
+        status = main(["analyze", overflowing_file, "--explain", "G999"])
+        capsys.readouterr()
+        assert status == 2
+
+    def test_analyze_compile_error_status(self, tmp_path, capsys):
+        broken = tmp_path / "broken.c"
+        broken.write_text("int main( {")
+        status = main(["analyze", str(broken)])
+        capsys.readouterr()
+        assert status == 2
+
+    def test_analyze_benchsuite_smoke(self, capsys):
+        status = main(["analyze", "--benchsuite", "--fail-on", "never"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "benchsuite:" in out

@@ -301,3 +301,81 @@ class TestPrinter:
         _, fn, b = simple_module()
         b.ret(Constant(ct.INT, 0))
         assert "entry:" in print_function(fn)
+
+
+class TestDominance:
+    """The verifier's dominance-based def-before-use check."""
+
+    def test_use_before_def_same_block_rejected(self):
+        module, fn, b = simple_module()
+        slot = b.alloca(ct.INT)
+        loaded = b.load(slot)
+        loaded.name = "early"
+        b.ret(Constant(ct.INT, 0))
+        # Splice the load in *before* the alloca that defines its operand.
+        instructions = fn.entry.instructions
+        instructions.insert(0, instructions.pop(1))
+        with pytest.raises(VerifierError, match="not dominated"):
+            verify_module(module)
+
+    def test_sibling_branch_value_rejected(self):
+        # Diamond: a value defined in the 'then' arm used in the 'else'
+        # arm is in the function but never on the path — dominance fails.
+        module, fn, b = simple_module()
+        flag = b.alloca(ct.INT)
+        b.store(Constant(ct.INT, 1), flag)
+        cond = b.cmp("eq", b.load(flag), Constant(ct.INT, 1))
+        then_block = fn.new_block("then")
+        else_block = fn.new_block("else")
+        b.cond_br(cond, then_block, else_block)
+        b.position_at_end(then_block)
+        then_value = b.add(Constant(ct.INT, 2), Constant(ct.INT, 3))
+        b.ret(then_value)
+        b.position_at_end(else_block)
+        b.ret(then_value)  # not dominated by 'then'
+        with pytest.raises(VerifierError, match="not dominated"):
+            verify_module(module)
+
+    def test_dominating_def_accepted(self):
+        module, fn, b = simple_module()
+        value = b.add(Constant(ct.INT, 1), Constant(ct.INT, 2))
+        tail = fn.new_block("tail")
+        b.br(tail)
+        b.position_at_end(tail)
+        b.ret(value)  # entry dominates tail: fine
+        verify_module(module)
+
+    def test_unreachable_block_exempt(self):
+        # Passes may leave orphaned blocks with dangling uses; those
+        # cannot execute and must not fail verification.
+        module, fn, b = simple_module()
+        value = b.add(Constant(ct.INT, 1), Constant(ct.INT, 2))
+        b.ret(value)
+        orphan = fn.new_block("orphan")
+        b.position_at_end(orphan)
+        other = fn.new_block("orphan2")
+        b.position_at_end(other)
+        late = b.add(Constant(ct.INT, 4), Constant(ct.INT, 5))
+        b.ret(late)
+        b.position_at_end(orphan)
+        b.ret(late)  # uses a value from a sibling unreachable block
+        verify_module(module)
+
+    def test_loop_carried_use_requires_phi(self):
+        # A value defined in the loop body does not dominate the header;
+        # referencing it there (instead of via a phi) must be rejected.
+        module, fn, b = simple_module()
+        header = fn.new_block("header")
+        body = fn.new_block("body")
+        exit_block = fn.new_block("exit")
+        b.br(header)
+        b.position_at_end(body)
+        bumped = b.add(Constant(ct.INT, 1), Constant(ct.INT, 1))
+        b.br(header)
+        b.position_at_end(header)
+        cond = b.cmp("eq", bumped, Constant(ct.INT, 8))
+        b.cond_br(cond, exit_block, body)
+        b.position_at_end(exit_block)
+        b.ret(Constant(ct.INT, 0))
+        with pytest.raises(VerifierError, match="not dominated"):
+            verify_module(module)
