@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Selective-hardening benchmark: full Smokestack vs. analysis-guided.
+
+For every benchsuite workload this measures guest-cycle overhead (vs.
+the stock-protector baseline) of
+
+* **full** — Smokestack on every function with automatic variables, and
+* **selective** — ``SmokestackConfig(selective=True)``: the interval
+  bounds prover runs first and fully PROVEN_SAFE functions keep their
+  original unpermuted frames.
+
+Observables are compared by the harness itself (``measure_workload``
+raises on any output difference), so a lower selective number is a real
+saving, not a behavior change.  Results land in
+``BENCH_selective.json``: per-workload overhead pairs, the skipped
+function lists, and the mean deltas over the proven-only subset.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_selective.py [--scheme aes-10]
+        [--out BENCH_selective.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.safety import analyze_module_safety  # noqa: E402
+from repro.benchsuite.programs import WORKLOADS  # noqa: E402
+from repro.benchsuite.runner import measure_workload  # noqa: E402
+from repro.core.allocations import discover_function  # noqa: E402
+from repro.core.config import SmokestackConfig  # noqa: E402
+from repro.core.pipeline import compile_source  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scheme", default="aes-10",
+                        help="randomness scheme to measure (default aes-10)")
+    parser.add_argument("--out", default="BENCH_selective.json",
+                        help="output artifact path")
+    args = parser.parse_args(argv)
+
+    scheme = args.scheme
+    rows = {}
+    for name, workload in WORKLOADS.items():
+        module = compile_source(workload.source, name)
+        report = analyze_module_safety(module)
+        proven = sorted(report.proven_functions())
+        with_slots = [
+            fn.name for fn in module.functions.values()
+            if discover_function(fn).count or discover_function(fn).vla_allocas
+        ]
+        full = measure_workload(
+            name, schemes=(scheme,),
+            config=SmokestackConfig(scheme=scheme),
+        )
+        selective = measure_workload(
+            name, schemes=(scheme,),
+            config=SmokestackConfig(scheme=scheme, selective=True),
+        )
+        row = {
+            "full_overhead_pct": round(full.overhead_pct(scheme), 4),
+            "selective_overhead_pct": round(
+                selective.overhead_pct(scheme), 4
+            ),
+            "proven_functions": proven,
+            "functions_with_slots": len(with_slots),
+            "fully_proven": len(proven) == len(with_slots),
+        }
+        row["delta_pct"] = round(
+            row["full_overhead_pct"] - row["selective_overhead_pct"], 4
+        )
+        rows[name] = row
+        print(
+            f"{name:<12} full={row['full_overhead_pct']:+7.3f}%  "
+            f"selective={row['selective_overhead_pct']:+7.3f}%  "
+            f"delta={row['delta_pct']:+7.3f}%  "
+            f"proven={len(proven)}/{len(with_slots)}"
+        )
+
+    proven_rows = [r for r in rows.values() if r["fully_proven"]]
+    unsafe_rows = [r for r in rows.values() if not r["fully_proven"]]
+
+    def mean(values):
+        return round(sum(values) / len(values), 4) if values else 0.0
+
+    summary = {
+        "scheme": scheme,
+        "proven_workloads": sum(1 for r in rows.values() if r["fully_proven"]),
+        "workloads": len(rows),
+        "mean_full_overhead_pct_proven": mean(
+            [r["full_overhead_pct"] for r in proven_rows]
+        ),
+        "mean_selective_overhead_pct_proven": mean(
+            [r["selective_overhead_pct"] for r in proven_rows]
+        ),
+        "mean_delta_pct_unproven": mean(
+            [r["delta_pct"] for r in unsafe_rows]
+        ),
+    }
+    artifact = {"summary": summary, "workloads": rows}
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nartifact -> {args.out}")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    # A selective build must never cost more than the full build on a
+    # fully proven workload, and must change nothing when nothing is
+    # proven (identical observables are asserted by the harness).
+    regressions = [
+        name for name, r in rows.items()
+        if r["fully_proven"]
+        and r["selective_overhead_pct"] > r["full_overhead_pct"] + 1e-9
+    ]
+    if regressions:
+        print(f"selective slower than full on proven: {regressions}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -225,3 +225,112 @@ def _probe_once(
 
 def failing(results: Sequence[CrosscheckResult]) -> List[CrosscheckResult]:
     return [result for result in results if not result.ok]
+
+
+# ---------------------------------------------------------------------------
+# Safety-proof probes: execute the maximal feasible write per buffer and
+# verify no PROVEN_SAFE sibling loses its sentinel.
+# ---------------------------------------------------------------------------
+
+
+class SafetyProbe(NamedTuple):
+    """One executed maximal-feasible overflow vs. the safety verdicts."""
+
+    function: str
+    buffer: str
+    length: int  # bytes actually written (feasible bound, frame-capped)
+    corrupted: FrozenSet[str]
+    proven_hit: FrozenSet[str]  # PROVEN_SAFE slots among the corrupted
+
+    @property
+    def ok(self) -> bool:
+        return not self.proven_hit
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "UNSOUND"
+        extra = (
+            "" if self.ok else f" proven slots corrupted={sorted(self.proven_hit)}"
+        )
+        return (
+            f"{self.function}/{self.buffer}+{self.length}: {status} "
+            f"({len(self.corrupted)} slots corrupted){extra}"
+        )
+
+
+def crosscheck_safety(module: Module, report=None) -> List[SafetyProbe]:
+    """Execute each buffer's statically-feasible maximal write and check
+    that every slot the bytes actually reach is non-PROVEN_SAFE.
+
+    This is the dynamic half of the soundness gate: the static prover
+    claims a write bound per buffer; here the bound is driven through a
+    real VM frame.  A PROVEN_SAFE buffer's bound never exceeds its size,
+    so its probe must corrupt nothing; a breached buffer's probe may
+    corrupt siblings — but only siblings the prover demoted.
+    """
+    from repro.analysis.safety import PROVEN_SAFE, analyze_module_safety
+
+    if report is None:
+        report = analyze_module_safety(module)
+    machine = Machine(module, stack_protector=False)
+    results: List[SafetyProbe] = []
+    for name, safety in report.functions.items():
+        function = module.functions.get(name)
+        if function is None:
+            continue
+        descriptor = discover_function(function)
+        if not descriptor.allocations or descriptor.vla_allocas:
+            continue  # VLA frames are all-UNKNOWN; nothing to validate
+        names = unique_slot_names(descriptor.allocations)
+        proven = {
+            s.slot for s in safety.slots if s.verdict == PROVEN_SAFE
+        }
+        for allocation in descriptor.allocations:
+            alloca = allocation.alloca
+            if alloca is None or not alloca.allocated_type.is_array():
+                continue
+            if allocation.name.startswith("__"):
+                continue
+            buffer = names[id(allocation)]
+            record = safety.slot(buffer)
+            bound = record.write_bound if record is not None else None
+            if bound == 0:
+                continue  # nothing ever writes to this buffer
+            frame = machine.push_probe_frame(name)
+            memory = machine.memory
+            try:
+                addresses = {
+                    names[id(a)]: (frame.alloca_addresses[a.alloca], a.size)
+                    for a in descriptor.allocations
+                }
+                for address, size in addresses.values():
+                    memory.write_bytes(address, bytes([SENTINEL]) * size)
+                base_address, _ = addresses[buffer]
+                writable = frame.frame_top - base_address
+                concrete = (
+                    writable if bound is None else min(bound, writable)
+                )
+                if concrete <= 0:
+                    continue
+                memory.write_bytes(
+                    base_address, bytes([OVERFLOW_BYTE]) * concrete
+                )
+                corrupted = frozenset(
+                    slot
+                    for slot, (address, size) in addresses.items()
+                    if slot != buffer
+                    and not slot.startswith("__")
+                    and memory.read_bytes(address, size)
+                    != bytes([SENTINEL]) * size
+                )
+                results.append(
+                    SafetyProbe(
+                        name,
+                        buffer,
+                        concrete,
+                        corrupted,
+                        frozenset(corrupted & proven),
+                    )
+                )
+            finally:
+                machine.pop_probe_frame()
+    return results

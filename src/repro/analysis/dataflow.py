@@ -17,6 +17,15 @@ factors that scheme out once:
 Termination is guaranteed for monotone transfers over finite lattices;
 a generous iteration budget turns an accidental non-monotone transfer
 into a loud :class:`AnalysisError` instead of a hang.
+
+Infinite-height lattices (the interval domain in
+:mod:`repro.analysis.intervals`) are supported through *widening*: a
+lattice that overrides :meth:`Lattice.widen` gets the operator applied
+at loop heads (targets of CFG back edges) after ``widening_delay``
+visits, which forces convergence; optional *narrowing* sweeps then claw
+back precision lost to widening.  Lattices that keep the default
+``widen`` (both set lattices) solve exactly as before — the solver only
+engages widening when the operator is overridden.
 """
 
 from __future__ import annotations
@@ -45,6 +54,25 @@ class Lattice:
     def leq(self, a, b) -> bool:
         """Partial order; default derived from join (a ⊑ b iff a ⊔ b = b)."""
         return self.join(a, b) == b
+
+    def widen(self, old, new):
+        """Widening operator ``old ∇ new``; must be an upper bound of both
+        and stabilise every ascending chain in finitely many steps.
+
+        The default is plain ``join``: finite lattices need no widening,
+        and the solver only applies the operator when a subclass
+        overrides it.
+        """
+        return self.join(old, new)
+
+    def narrow(self, old, new):
+        """Narrowing operator: refine ``old`` using the recomputed ``new``.
+
+        Both arguments over-approximate the concrete states, so any
+        sound mix is admissible.  The default keeps ``new`` (the freshly
+        recomputed state), which is correct for descending iteration.
+        """
+        return new
 
 
 class UnionLattice(Lattice):
@@ -94,6 +122,12 @@ class ForwardProblem:
     #: the lattice the analysis runs over; set by subclasses.
     lattice: Lattice
 
+    #: visits of a loop head before the solver starts widening there.
+    widening_delay: int = 2
+
+    #: descending sweeps after convergence (0 = no narrowing).
+    narrowing_passes: int = 0
+
     def entry_state(self, function: Function):
         """Abstract state on entry to the function."""
         return self.lattice.bottom()
@@ -101,6 +135,16 @@ class ForwardProblem:
     def transfer(self, inst: Instruction, state):
         """State after executing ``inst`` in ``state``.  Must be monotone."""
         raise NotImplementedError
+
+    def edge_state(self, pred: BasicBlock, succ: BasicBlock, state):
+        """Refine ``pred``'s out-state for the specific edge to ``succ``.
+
+        Hook for path-sensitive refinement (e.g. narrowing an interval
+        under the branch condition).  The default is the identity, so
+        existing analyses are unaffected.  Must return a state ⊑ the
+        input to stay sound.
+        """
+        return state
 
 
 class DataflowResult:
@@ -146,6 +190,16 @@ def solve_forward(function: Function, problem: ForwardProblem) -> DataflowResult
     preds = predecessors(function)
     reachable = reachable_blocks(function)
 
+    # Loop heads: targets of back edges w.r.t. the RPO numbering.  Only
+    # lattices that override ``widen`` engage widening there; the set
+    # lattices keep their exact joins.
+    widen_points = set()
+    for block in order:
+        for successor in _successors(block):
+            if successor in position and position[successor] <= position[block]:
+                widen_points.add(successor)
+    uses_widening = type(lattice).widen is not Lattice.widen
+
     block_in: Dict[BasicBlock, object] = {
         block: lattice.bottom() for block in function.blocks
     }
@@ -158,10 +212,22 @@ def solve_forward(function: Function, problem: ForwardProblem) -> DataflowResult
             state = problem.transfer(inst, state)
         return state
 
+    def joined_in_state(block: BasicBlock):
+        if block is function.entry:
+            return problem.entry_state(function)
+        state = lattice.bottom()
+        for pred in preds[block]:
+            if pred in reachable:
+                state = lattice.join(
+                    state, problem.edge_state(pred, block, block_out[pred])
+                )
+        return state
+
     # A worklist keyed by RPO position keeps the iteration deterministic.
     pending = set(order)
     budget = 64 * len(order) * max(1, len(order)) + 1024
     iterations = 0
+    visits: Dict[BasicBlock, int] = {}
     while pending:
         block = min(pending, key=position.__getitem__)
         pending.discard(block)
@@ -171,13 +237,14 @@ def solve_forward(function: Function, problem: ForwardProblem) -> DataflowResult
                 f"dataflow did not converge in '{function.name}' "
                 f"({iterations} block transfers; non-monotone transfer?)"
             )
-        if block is function.entry:
-            in_state = problem.entry_state(function)
-        else:
-            in_state = lattice.bottom()
-            for pred in preds[block]:
-                if pred in reachable:
-                    in_state = lattice.join(in_state, block_out[pred])
+        visits[block] = visits.get(block, 0) + 1
+        in_state = joined_in_state(block)
+        if (
+            uses_widening
+            and block in widen_points
+            and visits[block] > problem.widening_delay
+        ):
+            in_state = lattice.widen(block_in[block], in_state)
         block_in[block] = in_state
         out_state = transfer_block(block, in_state)
         if out_state != block_out[block]:
@@ -185,6 +252,25 @@ def solve_forward(function: Function, problem: ForwardProblem) -> DataflowResult
             for successor in _successors(block):
                 if successor in reachable:
                     pending.add(successor)
+
+    # Optional narrowing: bounded descending sweeps.  Each recomputation
+    # applies a monotone transfer to sound states, so every intermediate
+    # state stays an over-approximation; ``narrow`` just picks which
+    # bounds to keep at the widened loop heads.
+    for _ in range(problem.narrowing_passes):
+        changed = False
+        for block in order:
+            iterations += 1
+            in_state = joined_in_state(block)
+            if block in widen_points:
+                in_state = lattice.narrow(block_in[block], in_state)
+            out_state = transfer_block(block, in_state)
+            if in_state != block_in[block] or out_state != block_out[block]:
+                changed = True
+            block_in[block] = in_state
+            block_out[block] = out_state
+        if not changed:
+            break
     return DataflowResult(function, problem, block_in, block_out, iterations)
 
 

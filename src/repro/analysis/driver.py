@@ -5,14 +5,21 @@ One :class:`ProgramReport` per source file bundles the four analyses
 plus the optional VM cross-check, as a flat list of findings with
 stable, per-program identifiers:
 
-=======  ==========================================  ========
+=======  ==========================================  ============
 prefix   category                                    severity
-=======  ==========================================  ========
+=======  ==========================================  ============
 ``G``    taint-to-sink gadget finding                info
 ``R``    deterministic overflow reach (baseline)     info
 ``L``    lint (uninit load / constant OOB gep)       error/warning
 ``X``    static-vs-VM cross-check mismatch           error
-=======  ==========================================  ========
+``S``    bounds-safety verdict (``--prove``)         warning/info
+=======  ==========================================  ============
+
+With ``prove=True`` the interval bounds prover
+(:mod:`repro.analysis.safety`) also runs: every non-PROVEN_SAFE slot
+becomes an ``S`` finding (UNSAFE → warning, UNKNOWN → info), and any
+PROVEN_SAFE slot that nevertheless appears in a possible-reach set is
+an ``S`` *error* — a soundness violation that should never happen.
 
 Identifiers are assigned in deterministic program order, so ``repro
 analyze f.c --explain G003`` names the same finding on every run.
@@ -74,6 +81,8 @@ class ProgramReport:
         self.scores: List[ExposureScore] = []
         self.reach: List[BufferReach] = []
         self.crosscheck: List[CrosscheckResult] = []
+        #: bounds-safety report (``--prove``), None unless requested
+        self.safety = None
         #: finding id -> material for --explain
         self._sinks: Dict[str, Tuple[TaintFlowAnalysis, SinkHit]] = {}
         self._diagnostics: Dict[str, Diagnostic] = {}
@@ -167,6 +176,11 @@ class ProgramReport:
                     c.describe() for c in self.crosscheck if not c.ok
                 ],
             },
+            **(
+                {"safety": self.safety.to_dict()}
+                if self.safety is not None
+                else {}
+            ),
         }
 
     def format_text(self, verbose: bool = False) -> str:
@@ -197,6 +211,14 @@ class ProgramReport:
             )
             for mismatch in bad:
                 lines.append(f"  {mismatch.describe()}")
+        if self.safety is not None:
+            counts = self.safety.counts()
+            proven = self.safety.proven_functions()
+            lines.append(
+                "safety proofs: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                + f"; fully proven functions: {sorted(proven) or 'none'}"
+            )
         return "\n".join(lines)
 
 
@@ -208,11 +230,12 @@ def analyze_program(
     defenses: Sequence[str] = MODELED_DEFENSES,
     samples: int = 64,
     crosscheck: bool = False,
+    prove: bool = False,
 ) -> ProgramReport:
     """Compile ``source`` and run the full analyzer over it."""
     module = compile_source(source, opt_level=opt_level)
     report = ProgramReport(name, module)
-    counters = {"G": 0, "R": 0, "L": 0, "X": 0}
+    counters = {"G": 0, "R": 0, "L": 0, "X": 0, "S": 0}
     param_map = attacker_param_indices(module)
 
     def next_id(prefix: str) -> str:
@@ -302,6 +325,50 @@ def analyze_program(
                         probe.describe(),
                     )
                 )
+
+    if prove:
+        from repro.analysis.safety import (
+            PROVEN_SAFE,
+            UNSAFE,
+            analyze_module_safety,
+            proven_reach_conflicts,
+        )
+
+        report.safety = analyze_module_safety(module)
+        for safety in report.safety.functions.values():
+            for record in safety.slots:
+                if record.verdict == PROVEN_SAFE:
+                    continue
+                severity = "warning" if record.verdict == UNSAFE else "info"
+                bound = (
+                    "unbounded"
+                    if record.write_bound is None
+                    else f"{record.write_bound}B"
+                )
+                reason = record.reasons[0] if record.reasons else "no proof"
+                report.findings.append(
+                    Finding(
+                        next_id("S"),
+                        severity,
+                        f"safety-{record.verdict.lower()}",
+                        safety.name,
+                        "entry",
+                        f"slot '{record.slot}' ({record.size}B, max write "
+                        f"{bound}) is {record.verdict}: {reason}",
+                    )
+                )
+        for conflict in proven_reach_conflicts(module, report.safety):
+            report.findings.append(
+                Finding(
+                    next_id("S"),
+                    "error",
+                    "safety-soundness",
+                    "<module>",
+                    "entry",
+                    f"PROVEN_SAFE slot inside a possible-reach set: "
+                    f"{conflict}",
+                )
+            )
     return report
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional
 
-from repro.analysis.taint import TaintAnalysis
+from repro.analysis.taintflow import TaintAnalysis
 from repro.ir.instructions import BinOp, Call, CondBr, Instruction, Load, Store
 from repro.ir.module import BasicBlock, Function, Module
 from repro.opt.cfg import DominatorTree, reachable_blocks, successors

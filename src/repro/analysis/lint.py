@@ -11,8 +11,9 @@ Two checks ride on the dataflow framework:
   initializes the root (the load can only yield frame garbage), as a
   ``warning`` when some path does (path-sensitive maybe-uninit);
 * **constant-gep bounds** — an ``elemptr`` with a constant index into a
-  statically-sized array alloca/global is checked against the array
-  length: out of ``[0, n]`` is an ``error``; exactly ``n``
+  statically-sized array alloca/global — including a nested struct-array
+  field reached through a ``fieldptr`` chain — is checked against the
+  array length: out of ``[0, n]`` is an ``error``; exactly ``n``
   (one-past-the-end, legal C for address arithmetic) is an ``error``
   only when the gep's address is actually loaded/stored.
 
@@ -32,6 +33,7 @@ from repro.ir.instructions import (
     Call,
     Cast,
     ElemPtr,
+    FieldPtr,
     Instruction,
     Load,
     Store,
@@ -161,7 +163,18 @@ def check_constant_geps(function: Function) -> List[Diagnostic]:
         if length is None:
             continue
         idx = index.value
-        name = getattr(base, "var_name", None) or getattr(base, "name", "?")
+        if isinstance(base, FieldPtr):
+            root = _static_root(base)
+            owner = (
+                getattr(root, "var_name", None)
+                or getattr(root, "name", "?")
+            )
+            name = f"{owner}.field{base.field_index}"
+        else:
+            name = (
+                getattr(base, "var_name", None)
+                or getattr(base, "name", "?")
+            )
         if idx < 0 or idx > length:
             out.append(
                 Diagnostic(
@@ -194,10 +207,30 @@ def _static_array_length(base) -> Optional[int]:
         allocated = base.allocated_type
     elif isinstance(base, GlobalVariable):
         allocated = base.value_type
+    elif isinstance(base, FieldPtr):
+        # ``s.arr[i]`` lowers to ``elemptr(fieldptr(s, k), i)``: the
+        # fieldptr's pointee carries the nested array's static length,
+        # as long as the chain bottoms out in checkable storage.
+        if _static_root(base) is None:
+            return None
+        allocated = base.ctype.pointee
     else:
         return None
     if allocated is not None and allocated.is_array():
         return allocated.length
+    return None
+
+
+def _static_root(base, depth: int = 0):
+    """The statically-sized alloca/global a gep chain roots at, else None."""
+    if depth > 32:
+        return None
+    if isinstance(base, Alloca):
+        return base if base.is_static() else None
+    if isinstance(base, GlobalVariable):
+        return base
+    if isinstance(base, (ElemPtr, FieldPtr)):
+        return _static_root(base.operands[0], depth + 1)
     return None
 
 

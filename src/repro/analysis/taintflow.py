@@ -1,10 +1,17 @@
-"""Input-taint analysis on the dataflow framework, with gadget sinks.
+"""Taint analysis on the dataflow framework, with gadget sinks.
 
-This is the *source-rooted* cousin of :mod:`repro.analysis.taint`.  The
-older analysis answers "what can the attacker influence given the DOP
-threat model's memory corruption" and therefore treats every stack load
-as controlled.  This one tracks the flow of **program input** — the
-attacker's legitimate channel — through the function:
+Two attacker models share this one engine:
+
+* the default **input model** tracks the flow of program input — the
+  attacker's legitimate channel — through the function;
+* the **corruption model** (``corruption_model=True``) answers "what can
+  the attacker influence given the DOP threat model's full write access
+  to corruptible memory" (paper §III-B) and therefore additionally
+  treats every load from writable storage as controlled.  This is the
+  model the gadget census (:mod:`repro.analysis.gadgets`) runs under,
+  via the :class:`TaintAnalysis` view below.
+
+The input model works like this:
 
 * sources: input builtins (``input_read`` & friends), ``main``'s
   parameters, calls into functions that themselves (transitively) read
@@ -100,6 +107,30 @@ def pointer_root(value: Value, depth: int = 0) -> Optional[object]:
     return None
 
 
+def _is_memory_root(value: Value) -> bool:
+    """Does this value denote writable memory the attacker may corrupt?"""
+    if isinstance(value, Alloca):
+        return True
+    if isinstance(value, GlobalVariable):
+        return not value.readonly
+    return False
+
+
+def address_reaches_writable(value: Value, depth: int = 0) -> bool:
+    """Conservatively: does this pointer point into corruptible memory?"""
+    if depth > 32:
+        return True
+    if _is_memory_root(value):
+        return True
+    if isinstance(value, (ElemPtr, FieldPtr, Cast)):
+        return address_reaches_writable(value.operands[0], depth + 1)
+    if isinstance(value, (Load, Call, Phi, Select)):
+        # Pointer produced at runtime (loaded, returned, merged): assume
+        # it can point at corruptible memory.
+        return True
+    return False
+
+
 def input_deriving_functions(module: Module) -> Set[str]:
     """Functions that can (transitively) observe program input."""
     callers: Dict[str, Set[str]] = {name: set() for name in module.functions}
@@ -141,18 +172,25 @@ class TaintFlowAnalysis(ForwardProblem):
         function: Function,
         module: Optional[Module] = None,
         tainted_params: Iterable[int] = (),
+        corruption_model: bool = False,
+        collect_sinks: bool = True,
     ):
         self.function = function
         self.module = module
         self.lattice = UnionLattice()
         self.tainted_params = frozenset(tainted_params)
+        #: corruption model: every load from writable storage is a source
+        #: (the DOP attacker may have rewritten those bytes).
+        self.corruption_model = corruption_model
         self._input_deriving: Set[str] = (
             input_deriving_functions(module) if module is not None else set()
         )
         #: value/root -> (reason, parent locations) for --explain chains.
         self.provenance: Dict[object, Tuple[str, Tuple[object, ...]]] = {}
         self.result = solve_forward(function, self)
-        self.sinks: List[SinkHit] = self._collect_sinks()
+        self.sinks: List[SinkHit] = (
+            self._collect_sinks() if collect_sinks else []
+        )
 
     # -- ForwardProblem ------------------------------------------------------------
 
@@ -214,6 +252,8 @@ class TaintFlowAnalysis(ForwardProblem):
             pointer = inst.pointer
             if self._is_tainted(pointer, state):
                 return ("load through tainted pointer", (pointer,))
+            if self.corruption_model and address_reaches_writable(pointer):
+                return ("load from corruptible memory", ())
             root = pointer_root(pointer)
             if root is not None and mem(root) in state:
                 return ("load from tainted memory", (mem(root),))
@@ -238,7 +278,13 @@ class TaintFlowAnalysis(ForwardProblem):
             return None
         if isinstance(inst, Call):
             name = inst.callee_name()
-            if name in INPUT_BUILTINS:
+            if self.corruption_model:
+                # The corruption model keeps ``guest_rand`` uncontrolled
+                # (the attacker writes memory, not the RNG stream), so
+                # only the explicit input channels are sources here.
+                if name.startswith("input_"):
+                    return (f"return of input builtin '{name}'", ())
+            elif name in INPUT_BUILTINS:
                 return (f"return of input builtin '{name}'", ())
             if name in self._input_deriving:
                 return (f"return of input-deriving function '{name}'", ())
@@ -454,3 +500,32 @@ def analyze_taint_flow(
         )
         for name, function in module.functions.items()
     }
+
+
+class TaintAnalysis:
+    """Corruption-model attacker influence (the gadget census's view).
+
+    Historically a separate fixed-point analysis
+    (``analysis/taint.py``); now a flow-insensitive view over
+    :class:`TaintFlowAnalysis` running in corruption mode — the two
+    implementations were cross-checked census-for-census over the
+    benchsuite and the canned attacks before the old one was deleted.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._flow = TaintFlowAnalysis(
+            function, corruption_model=True, collect_sinks=False
+        )
+        #: every instruction the DOP attacker can (possibly) influence.
+        self.controlled: Set[Instruction] = {
+            value
+            for value in self._flow.tainted_values()
+            if isinstance(value, Instruction)
+        }
+
+    def is_controlled(self, value: Value) -> bool:
+        """Is ``value`` (possibly) attacker-controlled?"""
+        if isinstance(value, Instruction):
+            return value in self.controlled
+        return False

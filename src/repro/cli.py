@@ -68,11 +68,17 @@ def cmd_run(args) -> int:
 
 
 def cmd_harden(args) -> int:
-    config = SmokestackConfig(scheme=args.scheme)
+    config = SmokestackConfig(scheme=args.scheme, selective=args.selective)
     hardened = harden_source(
         _read_source(args.file), config, opt_level=args.opt
     )
     print(f"P-BOX   : {hardened.pbox.stats()}")
+    if args.selective:
+        skipped = hardened.selective_skipped()
+        print(
+            f"selective: {len(skipped)} proven-safe function(s) left "
+            f"unpermuted: {sorted(skipped) or 'none'}"
+        )
     status = 0
     for run_index in range(args.runs):
         machine = hardened.make_machine(
@@ -145,6 +151,7 @@ def cmd_analyze(args) -> int:
                     name,
                     opt_level=args.opt,
                     crosscheck=args.crosscheck,
+                    prove=args.prove,
                 )
             )
         except ReproError as exc:
@@ -261,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", action="append")
     p.add_argument("--runs", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--selective", action="store_true",
+                   help="skip permutation in functions the bounds prover "
+                        "marks fully PROVEN_SAFE")
     p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("ir", help="dump IR")
@@ -287,6 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crosscheck", action="store_true",
                    help="validate reach predictions by executing "
                         "deliberate overflows in the VM")
+    p.add_argument("--prove", action="store_true",
+                   help="run the interval bounds prover and report "
+                        "per-slot safety verdicts")
     p.add_argument("--explain", metavar="ID",
                    help="print the def-use chain for one finding and exit")
     p.add_argument("--verbose", action="store_true",
@@ -318,7 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default 1)")
     p.add_argument("--oracles", nargs="*", default=None,
-                   help="subset of: dispatch opt harden aes reach "
+                   help="subset of: dispatch opt harden aes reach safety "
                         "(default all)")
     p.add_argument("--harden-seeds", type=int, default=2,
                    help="permutation seeds per program (default 2)")

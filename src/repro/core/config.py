@@ -40,6 +40,13 @@ class SmokestackConfig:
         (§III-D.2); these replace the baseline's stack protector.
     vla_padding:
         Insert a random-sized dummy allocation before each VLA (§III-D.1).
+    selective:
+        Analysis-guided hardening (CleanStack-style): run the bounds
+        prover (:mod:`repro.analysis.safety`) first and skip the
+        permutation machinery in functions where *every* slot is
+        PROVEN_SAFE — no write can ever leave its slot, so there is
+        nothing for layout randomization to protect.  Functions with any
+        UNSAFE/UNKNOWN slot are instrumented exactly as in full mode.
     """
 
     scheme: str = "aes-10"
@@ -50,6 +57,7 @@ class SmokestackConfig:
     compile_seed: int = 0x5151
     fnid_checks: bool = True
     vla_padding: bool = True
+    selective: bool = False
 
     def validate(self) -> None:
         if self.max_table_rows < 1:

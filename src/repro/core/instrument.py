@@ -81,7 +81,19 @@ def instrument_module(
     config = config or SmokestackConfig()
     config.validate()
     pbox = PBox(config)
+    skipped: List[str] = []
+    proven = frozenset()
+    if config.selective:
+        # Imported lazily: analysis builds on core, not the other way
+        # around, and only selective mode needs the prover.
+        from repro.analysis.safety import analyze_module_safety
+
+        report = analyze_module_safety(module)
+        proven = frozenset(report.proven_functions())
     for function in module.functions.values():
+        if function.name in proven:
+            skipped.append(function.name)
+            continue
         _instrument_function(function, module, pbox, config)
     # Table globals were added on demand as instructions referenced them;
     # nothing further to install here.
@@ -90,6 +102,7 @@ def instrument_module(
     module.metadata["smokestack"] = {
         "config": config,
         "pbox": pbox,
+        "selective_skipped": skipped,
     }
     return pbox
 

@@ -73,6 +73,11 @@ class HardenedProgram:
     def pbox_bytes(self) -> int:
         return self.pbox.size_bytes()
 
+    def selective_skipped(self) -> list:
+        """Functions the prover let ``selective`` mode leave untouched."""
+        record = self.module.metadata.get("smokestack", {})
+        return list(record.get("selective_skipped", []))
+
     def __repr__(self) -> str:
         return (
             f"HardenedProgram({self.module.name!r}, scheme="

@@ -27,6 +27,12 @@ oracles cross-check the builds:
     with the VM: for every buffer of the O0 module, deliberate
     overflows executed in probe frames corrupt exactly the slots (and
     cookie) the overflow-reach analysis predicts.
+``safety``
+    The interval bounds prover must be sound: no PROVEN_SAFE slot may
+    appear in any possible-reach set under any modeled defense
+    (``proven_reach_conflicts``), and executing each buffer's maximal
+    feasible write in a probe frame must corrupt no PROVEN_SAFE slot
+    (``crosscheck_safety``).
 
 Any host Python exception escaping ``Machine.run`` is itself a finding:
 the VM's contract is that guest behavior — however degenerate — lands in
@@ -57,7 +63,14 @@ DEFAULT_MAX_STEPS = 20_000_000
 #: Permutation seeds the harden oracle runs under.
 DEFAULT_HARDEN_SEEDS: Tuple[int, ...] = (1, 2)
 
-ALL_ORACLES: Tuple[str, ...] = ("dispatch", "opt", "harden", "aes", "reach")
+ALL_ORACLES: Tuple[str, ...] = (
+    "dispatch",
+    "opt",
+    "harden",
+    "aes",
+    "reach",
+    "safety",
+)
 
 #: Observables plus the layout-invariant cost model: compared across
 #: permutation seeds of the *same* hardened build.
@@ -211,6 +224,9 @@ def check_program(
     if "reach" in program_oracles:
         _check_reach(verdict, baseline_module)
 
+    if "safety" in program_oracles:
+        _check_safety(verdict, baseline_module)
+
     if "harden" in program_oracles:
         hardened = harden_module(
             build(), SmokestackConfig(scheme="pseudo")
@@ -265,6 +281,36 @@ def _check_reach(verdict: ProgramVerdict, baseline_module) -> None:
         if not result.ok:
             verdict.findings.append(
                 OracleFinding("reach", result.describe())
+            )
+
+
+def _check_safety(verdict: ProgramVerdict, baseline_module) -> None:
+    """Bounds-prover soundness: PROVEN_SAFE slots must be untouchable."""
+    from repro.analysis.crosscheck import crosscheck_safety
+    from repro.analysis.safety import (
+        analyze_module_safety,
+        proven_reach_conflicts,
+    )
+
+    try:
+        report = analyze_module_safety(baseline_module)
+        conflicts = proven_reach_conflicts(baseline_module, report)
+        probes = crosscheck_safety(baseline_module, report)
+    except Exception as exc:  # noqa: BLE001 - escaping at all is the bug
+        verdict.findings.append(
+            OracleFinding(
+                "safety", f"host-exception: {type(exc).__name__}: {exc}"
+            )
+        )
+        return
+    for conflict in conflicts:
+        verdict.findings.append(
+            OracleFinding("safety", f"reach-conflict: {conflict}")
+        )
+    for probe in probes:
+        if not probe.ok:
+            verdict.findings.append(
+                OracleFinding("safety", probe.describe())
             )
 
 

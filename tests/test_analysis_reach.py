@@ -208,6 +208,42 @@ class TestLint:
             d.severity == "error" and d.category == "oob-gep" for d in diags
         )
 
+    def test_nested_struct_array_oob_is_error(self):
+        # ``b.arr[9]`` lowers to elemptr(fieldptr(b, 1), 9): the bounds
+        # check must follow the fieldptr chain instead of skipping it.
+        fn = compile_source(
+            """
+            struct box { int pad; int arr[4]; };
+            int main() {
+                struct box b;
+                b.pad = 0;
+                b.arr[9] = 2;
+                return 0;
+            }
+            """
+        ).get_function("main")
+        diags = lint_function(fn)
+        assert any(
+            d.category == "oob-gep"
+            and "index 9" in d.message
+            and "b.field1[4]" in d.message
+            for d in diags
+        )
+
+    def test_nested_struct_array_in_bounds_is_clean(self):
+        fn = compile_source(
+            """
+            struct box { int pad; int arr[4]; };
+            int main() {
+                struct box b;
+                b.pad = 0;
+                b.arr[3] = 2;
+                return b.arr[3];
+            }
+            """
+        ).get_function("main")
+        assert [d for d in lint_function(fn) if d.category == "oob-gep"] == []
+
     def test_clean_program_is_clean(self):
         fn = compile_source(VICTIM).get_function("main")
         assert lint_function(fn) == []

@@ -243,3 +243,75 @@ class TestAnalyzeCommand:
         out = capsys.readouterr().out
         assert status == 0
         assert "benchsuite:" in out
+
+
+EXAMPLES = __import__("pathlib").Path(__file__).resolve().parent.parent \
+    / "examples" / "minic"
+
+
+class TestProveAndSelective:
+    """Regression pins for ISSUE 4: the example pair's verdicts and the
+    selective-hardening CLI surface must not drift."""
+
+    def test_checksum_clean_is_fully_proven(self, capsys):
+        status = main(
+            ["analyze", str(EXAMPLES / "checksum_clean.c"), "--prove"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "UNSAFE=0" in out
+        assert "UNKNOWN=0" in out
+        assert "'checksum'" in out and "'main'" in out  # fully proven
+
+    def test_vulnerable_logger_is_not_proven(self, capsys):
+        status = main(
+            ["analyze", str(EXAMPLES / "vulnerable_logger.c"), "--prove"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0  # UNSAFE verdicts are warnings, bar is error
+        assert "S001 [warning]" in out
+        assert "is UNSAFE" in out
+        assert "'line'" in out
+        assert "fully proven functions: none" in out
+
+    def test_prove_verdicts_fail_on_warning(self, capsys):
+        status = main(
+            ["analyze", str(EXAMPLES / "vulnerable_logger.c"), "--prove",
+             "--fail-on", "warning"]
+        )
+        capsys.readouterr()
+        assert status == 1
+
+    def test_prove_json_carries_safety_section(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "prove.json"
+        status = main(
+            ["analyze", str(EXAMPLES / "checksum_clean.c"), "--prove",
+             "--json", str(artifact)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        blob = json.loads(artifact.read_text())
+        safety = blob["reports"][0]["safety"]
+        assert safety["slot_counts"]["UNSAFE"] == 0
+        assert set(safety["proven_functions"]) == {"checksum", "main"}
+
+    def test_harden_selective_reports_skips(self, capsys):
+        status = main(
+            ["harden", str(EXAMPLES / "checksum_clean.c"), "--selective"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "selective:" in out
+        assert "checksum" in out
+
+    def test_harden_selective_vulnerable_skips_none(self, capsys):
+        # The run itself may fault (the victim's unbounded output read
+        # trips the hardened frame) — the pin is the skip report: the
+        # prover must not exempt any function here.
+        main(
+            ["harden", str(EXAMPLES / "vulnerable_logger.c"), "--selective"]
+        )
+        out = capsys.readouterr().out
+        assert "selective: 0 proven-safe function(s)" in out
