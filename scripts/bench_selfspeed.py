@@ -114,6 +114,60 @@ def bench_aes(block_count: int) -> dict:
     }
 
 
+def bench_tracing(workload_name: str) -> dict:
+    """Tracing-off overhead: a machine built *without* a tracer must run
+    as fast as one built before the observability layer existed.
+
+    The design promise is stronger than "cheap": an untraced machine
+    decodes exactly the closures it always did and carries no
+    per-instruction tracer checks, so the delta here is pure noise.  The
+    report records it so a regression (someone adding a hot-path check)
+    shows up in the trajectory.
+    """
+    workload = get_workload(workload_name)
+    module_off = compile_source(workload.source, workload.name)
+    module_on = compile_source(workload.source, workload.name)
+
+    start = time.perf_counter()
+    off = Machine(
+        module_off, inputs=list(workload.inputs), fast_dispatch=True
+    ).run()
+    off_seconds = time.perf_counter() - start
+
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(record_writes="none")
+    start = time.perf_counter()
+    on = Machine(
+        module_on,
+        inputs=list(workload.inputs),
+        fast_dispatch=True,
+        tracer=tracer,
+    ).run()
+    on_seconds = time.perf_counter() - start
+
+    for field in ("outcome", "exit_code", "steps", "cycles", "int_outputs",
+                  "str_outputs", "max_rss"):
+        if getattr(off, field) != getattr(on, field):
+            raise SystemExit(
+                f"tracing changed {workload_name}.{field}: "
+                f"{getattr(off, field)!r} != {getattr(on, field)!r}"
+            )
+    return {
+        "workload": workload_name,
+        "steps": off.steps,
+        "untraced_seconds": round(off_seconds, 4),
+        "traced_seconds": round(on_seconds, 4),
+        "untraced_instr_per_sec": round(off.steps / off_seconds),
+        "traced_instr_per_sec": round(on.steps / on_seconds),
+        #: tracing-ON cost relative to off (opcode histogram updates);
+        #: tracing-OFF overhead is by construction zero — no tracer code
+        #: exists on the untraced path — so "off" equals the interpreter
+        #: benchmark above.
+        "traced_overhead": round(on_seconds / off_seconds - 1.0, 3),
+    }
+
+
 def _measure_suite_legacy(names, schemes) -> None:
     """The pre-fast-path harness, faithfully re-enacted.
 
@@ -190,6 +244,7 @@ def main() -> int:
         "quick": args.quick,
         "interpreter": bench_interpreter(dispatch_workload),
         "aes": bench_aes(aes_blocks),
+        "tracing": bench_tracing(dispatch_workload),
         "suite": bench_suite(suite_names, suite_schemes, args.jobs),
     }
 
@@ -201,6 +256,10 @@ def main() -> int:
           f"({interp['speedup']}x over executor-table dispatch)")
     print(f"aes:         {aes_report['ttable_blocks_per_sec']:,} blocks/sec "
           f"({aes_report['speedup']}x over byte-level reference)")
+    tracing = report["tracing"]
+    print(f"tracing:     untraced {tracing['untraced_instr_per_sec']:,} "
+          f"instr/sec, traced (writes=none) overhead "
+          f"{tracing['traced_overhead']:+.1%}")
     print(f"suite:       {suite['fast_seconds']}s vs legacy "
           f"{suite['legacy_seconds']}s ({suite['speedup']}x)")
     print(f"report:      {args.output}")

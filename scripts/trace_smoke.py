@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI trace smoke: forensics-trace one canned attack, validate the
+event stream against the schema, and leave the JSONL as an artifact.
+
+Exit status is nonzero when the trace is schema-invalid, the campaign
+is inconsistent with the bounds prover, or no boundary-crossing write
+was recorded for the undefended attack (all three would mean the
+observability layer regressed).
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_smoke.py [--attack NAME]
+        [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.forensics import CANNED_ATTACKS, attack_forensics  # noqa: E402
+from repro.obs.trace import validate_events  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--attack", default="ripe", choices=sorted(CANNED_ATTACKS),
+        help="which canned attack to trace (default ripe: the fastest)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("trace_smoke.jsonl"),
+        help="where the JSONL event stream lands (CI uploads this)",
+    )
+    args = parser.parse_args()
+
+    report = attack_forensics(args.attack, defense="none", restarts=2)
+    print(report.format_text())
+    print()
+
+    tracer = report.decisive_tracer()
+    if tracer is None:
+        print("FAIL: campaign produced no attempts")
+        return 1
+    tracer.write_jsonl(str(args.output))
+    print(f"jsonl trace -> {args.output} ({len(tracer.events)} events)")
+
+    # Re-read from disk: validate what the artifact actually contains.
+    events = [
+        json.loads(line)
+        for line in args.output.read_text().splitlines()
+        if line.strip()
+    ]
+    problems = validate_events(events)
+    if problems:
+        print("FAIL: schema-invalid event stream:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"schema: {len(events)} events valid")
+
+    if report.first_crossing() is None:
+        print("FAIL: undefended attack produced no boundary-crossing write")
+        return 1
+    if not report.consistent():
+        print("FAIL: first crossing is inconsistent with the bounds prover")
+        return 1
+    print("trace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

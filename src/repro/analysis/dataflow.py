@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Iterator, List, Tuple
 from repro.errors import ReproError
 from repro.ir.instructions import Instruction
 from repro.ir.module import BasicBlock, Function
+from repro.obs.metrics import get_registry
 from repro.opt.cfg import predecessors, reachable_blocks, reverse_postorder
 
 
@@ -271,6 +272,9 @@ def solve_forward(function: Function, problem: ForwardProblem) -> DataflowResult
             block_out[block] = out_state
         if not changed:
             break
+    get_registry().counter(
+        "analysis_solver_iterations_total", problem=type(problem).__name__
+    ).inc(iterations)
     return DataflowResult(function, problem, block_in, block_out, iterations)
 
 

@@ -47,6 +47,7 @@ from repro.analysis.taintflow import (
 from repro.core.pipeline import compile_source
 from repro.ir.module import Module
 from repro.ir.printer import format_instruction
+from repro.obs.metrics import get_registry
 
 SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
 
@@ -369,6 +370,15 @@ def analyze_program(
                     f"{conflict}",
                 )
             )
+
+    registry = get_registry()
+    registry.counter("analysis_programs_total").inc()
+    for finding in report.findings:
+        registry.counter(
+            "analysis_findings_total",
+            severity=finding.severity,
+            category=finding.category,
+        ).inc()
     return report
 
 

@@ -10,6 +10,9 @@ Commands
 ``entropy``  per-function layout entropy of a hardened build
 ``attack``   replay a named attack campaign against a chosen defense
 ``bench``    run a slice of the Figure 3 measurement campaign
+``fuzz``     differential fuzzing campaign
+``trace``    run with structured tracing; ``--attack`` for forensics
+``profile``  per-opcode guest-cycle histogram of one run
 """
 
 from __future__ import annotations
@@ -242,6 +245,96 @@ def cmd_fuzz(args) -> int:
     return 0 if summary.ok else 2
 
 
+def _make_traced_machine(args, tracer):
+    """Build the machine for ``trace``/``profile`` file mode."""
+    source = _read_source(args.file)
+    if args.harden:
+        hardened = harden_source(
+            source, SmokestackConfig(scheme=args.scheme), opt_level=args.opt
+        )
+        return hardened.make_machine(
+            entropy=DeterministicEntropy(args.seed),
+            inputs=_inputs_from_args(args.input),
+            tracer=tracer,
+        )
+    module = compile_source(source, opt_level=args.opt)
+    return Machine(
+        module, inputs=_inputs_from_args(args.input), tracer=tracer
+    )
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Tracer
+    from repro.obs.trace import CROSSING_WHYS, CYCLE_SCALE
+
+    if args.attack:
+        from repro.obs.forensics import attack_forensics
+
+        report = attack_forensics(
+            args.attack,
+            defense=args.defense,
+            restarts=args.restarts,
+            seed=args.seed,
+            record_writes=args.writes,
+        )
+        print(report.format_text())
+        tracer = report.decisive_tracer()
+        if tracer is not None:
+            if args.json:
+                tracer.write_jsonl(args.json)
+                print(f"jsonl trace -> {args.json}")
+            if args.chrome:
+                tracer.write_chrome(args.chrome)
+                print(f"chrome trace -> {args.chrome}")
+        return 0 if report.consistent() else 2
+
+    if not args.file:
+        print("trace: pass a Mini-C source file or --attack NAME")
+        return 2
+    tracer = Tracer(record_writes=args.writes)
+    machine = _make_traced_machine(args, tracer)
+    result = machine.run()
+    crossings = tracer.crossing_events()
+    print(f"outcome  : {result.outcome}")
+    print(
+        f"events   : {len(tracer.events)} "
+        f"({tracer.dropped} dropped, {tracer.write_count:,} writes seen, "
+        f"{len(crossings)} boundary-crossing)"
+    )
+    first = tracer.first_crossing()
+    if first is not None:
+        slots = ", ".join(
+            f"{touch['fn']}/{touch['slot']}" for touch in first["touched"]
+        )
+        print(
+            f"first boundary crossing: {first['kind']} in {first['fn']} "
+            f"wrote {first['size']}B @ {first['addr']:#x} "
+            f"({first['why']}) -> {slots} "
+            f"[cycle {first['cycle_units'] / CYCLE_SCALE:,.0f}]"
+        )
+    if args.json:
+        tracer.write_jsonl(args.json)
+        print(f"jsonl trace -> {args.json}")
+    if args.chrome:
+        tracer.write_chrome(args.chrome)
+        print(f"chrome trace -> {args.chrome}")
+    return 0 if result.finished_cleanly() else 1
+
+
+def cmd_profile(args) -> int:
+    from repro.obs import Tracer, render_profile
+
+    tracer = Tracer(record_writes="none")
+    machine = _make_traced_machine(args, tracer)
+    result = machine.run()
+    print(render_profile(tracer, top=args.top))
+    print(
+        f"\noutcome {result.outcome}, {result.steps:,} steps, "
+        f"{result.cycles:,.0f} guest cycles"
+    )
+    return 0 if result.finished_cleanly() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -340,6 +433,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-reduce", action="store_true",
                    help="skip delta-debugging findings")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace",
+        help="run with structured tracing (or --attack forensics)",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="Mini-C source file (omit with --attack)")
+    p.add_argument("--opt", type=int, default=0, choices=(0, 1, 2))
+    p.add_argument("--harden", action="store_true",
+                   help="trace the Smokestack-hardened build")
+    p.add_argument("--scheme", default="aes-10",
+                   help="randomness scheme for --harden (default aes-10)")
+    p.add_argument("--input", action="append",
+                   help="input chunk (repeatable)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="entropy seed (--harden) / campaign seed (--attack)")
+    p.add_argument("--writes", default="crossing",
+                   choices=("crossing", "all", "none"),
+                   help="which write events to record (default crossing)")
+    p.add_argument("--attack", metavar="NAME", default=None,
+                   help="forensics mode: replay a canned attack campaign "
+                        "(librelp, wireshark, proftpd, ripe, listing1)")
+    p.add_argument("--defense", default="none",
+                   choices=defense_names(),
+                   help="defense for --attack mode (default none)")
+    p.add_argument("--restarts", type=int, default=4,
+                   help="attempts for --attack mode (default 4)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the event stream as JSONL here")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="write a chrome://tracing JSON file here")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("profile", help="per-opcode guest-cycle histogram")
+    add_common(p, harden_opts=True)
+    p.add_argument("--harden", action="store_true",
+                   help="profile the Smokestack-hardened build")
+    p.add_argument("--input", action="append")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=0,
+                   help="show only the N most expensive opcodes")
+    p.set_defaults(func=cmd_profile)
 
     return parser
 

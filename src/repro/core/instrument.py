@@ -104,6 +104,9 @@ def instrument_module(
         "pbox": pbox,
         "selective_skipped": skipped,
     }
+    # In-place rewrite: machines already bound to this module must drop
+    # their identity-keyed caches (alloca layouts, predecoded blocks).
+    module.bump_version()
     return pbox
 
 

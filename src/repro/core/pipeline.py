@@ -16,9 +16,27 @@ from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.lowering import lower
 from repro.minic import compile_to_ast
+from repro.obs.metrics import get_registry
+from repro.perf.timer import PhaseTimer
 from repro.rng.entropy import EntropySource
 from repro.rng.sources import make_source
 from repro.vm.interpreter import Machine
+
+
+def _observe_phase(name: str, seconds: float) -> None:
+    get_registry().histogram("pipeline_phase_seconds", phase=name).observe(
+        seconds
+    )
+
+
+def _phase_timer() -> PhaseTimer:
+    """A fresh per-call timer feeding the metrics registry.
+
+    Per call (not module-global) so recursive/pipelined builds — an
+    oracle compiling inside an analysis that is itself being compiled —
+    can never trip the timer's re-entrancy guard.
+    """
+    return PhaseTimer(observer=_observe_phase)
 
 
 def lower_ast(ast, name: str = "program", opt_level: int = 0) -> Module:
@@ -29,11 +47,14 @@ def lower_ast(ast, name: str = "program", opt_level: int = 0) -> Module:
     for the baseline and once for the build it hands to the hardening
     passes (which *do* mutate their module).
     """
-    module = lower(ast, name)
+    timer = _phase_timer()
+    with timer.phase("lower"):
+        module = lower(ast, name)
     if opt_level:
         from repro.opt import optimize
 
-        optimize(module, opt_level)
+        with timer.phase("optimize"):
+            optimize(module, opt_level)
     return module
 
 
@@ -44,7 +65,12 @@ def compile_source(source: str, name: str = "program", opt_level: int = 0) -> Mo
     ``opt_level=2`` runs mem2reg and the cleanup passes, reproducing the
     register-resident frames of the paper's ``-O2`` testbed.
     """
-    return lower_ast(compile_to_ast(source, name), name, opt_level=opt_level)
+    timer = _phase_timer()
+    with timer.phase("compile"):
+        ast = compile_to_ast(source, name)
+        module = lower_ast(ast, name, opt_level=opt_level)
+    get_registry().counter("pipeline_compiles_total").inc()
+    return module
 
 
 class HardenedProgram:
@@ -90,8 +116,11 @@ def harden_module(
 ) -> HardenedProgram:
     """Apply Smokestack to an already-lowered module (mutates it)."""
     config = config or SmokestackConfig()
-    pbox = instrument_module(module, config)
-    verify_module(module)
+    timer = _phase_timer()
+    with timer.phase("harden"):
+        pbox = instrument_module(module, config)
+        verify_module(module)
+    get_registry().counter("pipeline_hardens_total").inc()
     return HardenedProgram(module, pbox, config)
 
 

@@ -10,6 +10,7 @@ process (it is rare and needs the oracle predicate anyway).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -22,6 +23,7 @@ from repro.fuzz.oracles import (
     check_program,
 )
 from repro.fuzz.reduce import make_oracle_predicate, reduce_program
+from repro.obs.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -123,6 +125,7 @@ def _check_seed(payload: tuple) -> dict:
 
 def run_campaign(config: CampaignConfig) -> CampaignSummary:
     summary = CampaignSummary(config=config)
+    started = time.perf_counter()
     payloads = [
         (
             config.base_seed + index,
@@ -170,6 +173,19 @@ def run_campaign(config: CampaignConfig) -> CampaignSummary:
         if config.corpus_dir is not None:
             finding.corpus_paths = _write_corpus(config.corpus_dir, finding)
         summary.findings.append(finding)
+
+    elapsed = time.perf_counter() - started
+    registry = get_registry()
+    registry.counter("fuzz_programs_total").inc(summary.checked)
+    registry.counter("fuzz_findings_total").inc(len(summary.findings))
+    registry.counter("fuzz_inconclusive_total").inc(summary.inconclusive)
+    for outcome, count in summary.outcome_counts.items():
+        registry.counter("fuzz_outcomes_total", outcome=outcome).inc(count)
+    registry.histogram("fuzz_campaign_seconds").observe(elapsed)
+    if elapsed > 0:
+        registry.gauge("fuzz_programs_per_sec").set(
+            summary.checked / elapsed
+        )
     return summary
 
 

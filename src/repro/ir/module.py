@@ -130,6 +130,17 @@ class Module:
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, GlobalVariable] = {}
         self.metadata: Dict[str, object] = {}
+        #: cache-invalidation token: in-place transforms (the optimizer,
+        #: Smokestack instrumentation) call :meth:`bump_version` so any
+        #: machinery keying caches on IR object identity — the VM's
+        #: static-alloca layouts, the predecoded block cache — can detect
+        #: that the module changed under it.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Mark the module as transformed in place; returns new version."""
+        self.version += 1
+        return self.version
 
     def add_function(self, function: Function) -> Function:
         if function.name in self.functions:

@@ -1,0 +1,28 @@
+"""Observability: structured tracing, metrics and attack forensics.
+
+Import layering: this package's root exports only the dependency-light
+pieces (:mod:`repro.obs.metrics` has no repro imports at all;
+:mod:`repro.obs.trace` imports only metrics), so every layer — the
+pipeline, the fuzz runner, the analysis driver — can populate metrics
+without cycles.  :mod:`repro.obs.forensics` sits *above* the attack and
+analysis stacks and must be imported explicitly.
+"""
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import (
+    CROSSING_WHYS,
+    EVENT_TYPES,
+    Tracer,
+    render_profile,
+    validate_events,
+)
+
+__all__ = [
+    "CROSSING_WHYS",
+    "EVENT_TYPES",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "render_profile",
+    "validate_events",
+]

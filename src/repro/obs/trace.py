@@ -1,0 +1,518 @@
+"""Structured VM execution tracing.
+
+A :class:`Tracer` is handed to ``Machine(tracer=...)`` and receives a
+stream of hook calls from both dispatch paths: calls/returns (with the
+concrete frame layout of every activation, so Smokestack's per-call
+permutation draws are directly visible), every memory write (classified
+against the live slot map), every ``__ss_rand`` draw, and a per-opcode
+cycle histogram.  The design constraints, in order:
+
+1. **Zero cost when absent.**  The interpreter checks ``tracer is None``
+   once per frame push/pop, never per instruction: the fast dispatch
+   path bakes tracing into the decoded step closures (an untraced
+   machine decodes exactly the closures it always did), and the write
+   hook rides the :meth:`Memory.set_write_observer` instance-attribute
+   shadowing, which costs nothing when not installed.
+2. **Bit-identical observables.**  Tracing must not change a run: hooks
+   only *read* machine state, the traced store path charges the same
+   integer cycle units as the inlined one, and timestamps are guest
+   ``cycle_units`` (deterministic), never wall-clock.
+3. **Duck typing.**  ``repro.vm`` never imports this module; anything
+   with the same hook methods can be passed as a tracer.
+
+Event stream (one dict per event; see ``EVENT_TYPES`` for the schema)::
+
+    {"ev": "start", "entry": "main", "cycle_units": 0}
+    {"ev": "call",  "fn": "f", "depth": 1, "layout": {"buf": 8372160, ...},
+     "frame_base": ..., "frame_top": ..., "ret_slot": ..., "canary": null,
+     "cycle_units": ...}
+    {"ev": "write", "kind": "builtin:memcpy_", "fn": "f", "depth": 1,
+     "addr": ..., "size": 64, "why": "overflow",
+     "touched": [{"fn": "f", "slot": "buf", "depth": 1}, ...],
+     "cycle_units": ...}
+    {"ev": "rand",  "value": ..., "fn": "f", "cycle_units": ...}
+    {"ev": "ret",   "fn": "f", "depth": 1, "cycle_units": ...}
+    {"ev": "end",   "outcome": "exit", "steps": ..., "dropped": 0,
+     "cycle_units": ...}
+
+Write classification (``why``):
+
+``local``
+    the whole range lies inside a single slot of the *innermost* frame —
+    the well-behaved case (recorded only with ``record_writes="all"``).
+``frame-escape``
+    fully inside a single slot, but of an *outer* frame: a write through
+    an escaped pointer.  Legitimate for out-parameters, and exactly how
+    surgical DOP corruption looks — recorded.
+``overflow``
+    the range crosses a slot boundary, touches more than one slot, or
+    touches a ``<return-cookie>``/``<canary>`` pseudo-slot — recorded.
+``untracked``
+    touches no known slot (heap, globals, VLA area, inter-slot padding)
+    — recorded only with ``record_writes="all"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import get_registry
+
+#: ``cycle_units`` per modelled cycle (mirrors repro.vm.costs.CYCLE_SCALE;
+#: re-declared here so obs stays import-light).
+CYCLE_SCALE = 1 << 30
+
+#: Pseudo-slot labels used in frame views alongside source variables.
+RETURN_COOKIE = "<return-cookie>"
+CANARY = "<canary>"
+
+#: Builtins that write guest memory: traced machines wrap these so write
+#: events carry the responsible builtin as their ``kind``.
+WRITER_BUILTINS = frozenset(
+    {
+        "input_read",
+        "input_read_unbounded",
+        "strcpy_",
+        "strncpy_",
+        "sstrncpy_",
+        "memcpy_",
+        "memset_",
+        "snprintf_sim",
+    }
+)
+
+#: ev -> required fields and their types (beyond the common "ev").
+EVENT_TYPES = {
+    "start": {"entry": str, "cycle_units": int},
+    "call": {
+        "fn": str,
+        "depth": int,
+        "frame_base": int,
+        "frame_top": int,
+        "ret_slot": int,
+        "canary": (int, type(None)),
+        "layout": dict,
+        "cycle_units": int,
+    },
+    "ret": {"fn": str, "depth": int, "cycle_units": int},
+    "write": {
+        "kind": str,
+        "fn": (str, type(None)),
+        "depth": int,
+        "addr": int,
+        "size": int,
+        "why": str,
+        "touched": list,
+        "cycle_units": int,
+    },
+    "rand": {"value": int, "fn": (str, type(None)), "cycle_units": int},
+    "end": {"outcome": str, "steps": int, "dropped": int, "cycle_units": int},
+}
+
+_WRITE_WHYS = ("local", "frame-escape", "overflow", "untracked")
+#: the ``why`` values that count as boundary-crossing corruption events.
+CROSSING_WHYS = ("frame-escape", "overflow")
+
+
+class _FrameView:
+    """The tracer's picture of one live activation: slot intervals."""
+
+    __slots__ = ("fn", "depth", "lo", "hi", "intervals")
+
+    def __init__(self, fn: str, depth: int, intervals) -> None:
+        self.fn = fn
+        self.depth = depth
+        self.intervals = intervals  # [(lo, hi, label)], ascending
+        self.lo = intervals[0][0] if intervals else 0
+        self.hi = intervals[-1][1] if intervals else 0
+
+
+class Tracer:
+    """Collects one machine run's worth of events.
+
+    Parameters
+    ----------
+    record_writes:
+        ``"crossing"`` (default) records only boundary-crossing and
+        frame-escaping writes; ``"all"`` records every write including
+        well-behaved ones; ``"none"`` records no write events (call/ret
+        structure and the opcode histogram still accumulate).
+    max_events:
+        Hard cap on the event list; excess events are counted in
+        ``dropped`` instead of stored (the opcode histogram is exempt).
+    """
+
+    def __init__(
+        self, record_writes: str = "crossing", max_events: int = 200_000
+    ) -> None:
+        if record_writes not in ("crossing", "all", "none"):
+            raise ValueError(
+                f"record_writes must be crossing|all|none, "
+                f"got {record_writes!r}"
+            )
+        self.record_writes = record_writes
+        self.max_events = max_events
+        self.events: List[dict] = []
+        self.dropped = 0
+        self.write_count = 0
+        #: opcode name -> {cycle_units -> executions}; exact, unsampled.
+        self.opcode_hist: Dict[str, Dict[int, int]] = {}
+        self._views: List[_FrameView] = []
+        self._context: List[str] = []  # active builtin, for write "kind"
+
+    # -- machine attachment ---------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Install the write observer and builtin wrappers on ``machine``.
+
+        Called once from ``Machine.__init__``; keeps all knowledge of
+        *how* to hook a machine inside obs (the VM only duck-types the
+        ``on_*`` methods plus this).
+        """
+        machine.memory.set_write_observer(
+            lambda address, size: self.on_write(machine, address, size)
+        )
+        for name, handler in list(machine._builtins.items()):
+            if name in WRITER_BUILTINS:
+                machine._builtins[name] = self._wrap_writer(name, handler)
+            elif name == "__ss_rand":
+                machine._builtins[name] = self._wrap_rand(machine, handler)
+        get_registry().counter("vm_traced_machines_total").inc()
+
+    def _wrap_writer(self, name: str, handler):
+        context = self._context
+        label = "builtin:" + name
+
+        def wrapped(args):
+            context.append(label)
+            try:
+                return handler(args)
+            finally:
+                context.pop()
+
+        return wrapped
+
+    def _wrap_rand(self, machine, handler):
+        def wrapped(args):
+            value = handler(args)
+            self.on_rand(machine, value)
+            return value
+
+        return wrapped
+
+    # -- event plumbing -------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- hooks (called by the VM) ---------------------------------------------------
+
+    def on_start(self, machine, entry: str) -> None:
+        self._emit(
+            {
+                "ev": "start",
+                "entry": entry,
+                "cycle_units": machine.cost.cycle_units,
+            }
+        )
+
+    def on_call(self, machine, frame) -> None:
+        depth = len(machine.frames) - 1
+        del self._views[depth:]  # heal after probe-frame pops
+        intervals = []
+        layout = {}
+        for alloca, address in frame.alloca_addresses.items():
+            label = alloca.var_name or f"%{getattr(alloca, 'name', '?')}"
+            size = alloca.static_size()
+            intervals.append((address, address + size, label))
+            layout[label] = address
+        intervals.append((frame.ret_slot, frame.ret_slot + 8, RETURN_COOKIE))
+        if frame.canary_addr is not None:
+            intervals.append(
+                (frame.canary_addr, frame.canary_addr + 8, CANARY)
+            )
+        intervals.sort()
+        self._views.append(
+            _FrameView(frame.function.name, depth, intervals)
+        )
+        self._emit(
+            {
+                "ev": "call",
+                "fn": frame.function.name,
+                "depth": depth,
+                "frame_base": frame.frame_base,
+                "frame_top": frame.frame_top,
+                "ret_slot": frame.ret_slot,
+                "canary": frame.canary_addr,
+                "layout": layout,
+                "cycle_units": machine.cost.cycle_units,
+            }
+        )
+
+    def on_return(self, machine, frame) -> None:
+        # ``frame`` is already popped from machine.frames.
+        del self._views[len(machine.frames):]
+        self._emit(
+            {
+                "ev": "ret",
+                "fn": frame.function.name,
+                "depth": len(machine.frames),
+                "cycle_units": machine.cost.cycle_units,
+            }
+        )
+
+    def on_write(self, machine, address: int, size: int) -> None:
+        self.write_count += 1
+        mode = self.record_writes
+        if mode == "none":
+            return
+        views = self._views
+        live = len(machine.frames)
+        if len(views) > live:
+            del views[live:]
+        lo, hi = address, address + size
+        touched = []
+        sole = None  # (view, interval) when exactly one slot is touched
+        for view in reversed(views):
+            if hi <= view.lo or lo >= view.hi:
+                continue
+            for start, end, label in view.intervals:
+                if start >= hi:
+                    break
+                if end <= lo:
+                    continue
+                touched.append(
+                    {"fn": view.fn, "slot": label, "depth": view.depth}
+                )
+                sole = (view, (start, end, label))
+        if not touched:
+            why = "untracked"
+        elif len(touched) > 1:
+            why = "overflow"
+        else:
+            view, (start, end, label) = sole
+            if label in (RETURN_COOKIE, CANARY) or lo < start or hi > end:
+                why = "overflow"
+            elif view is views[-1]:
+                why = "local"
+            else:
+                why = "frame-escape"
+        if mode == "crossing" and why not in CROSSING_WHYS:
+            return
+        inner = views[-1] if views else None
+        self._emit(
+            {
+                "ev": "write",
+                "kind": self._context[-1] if self._context else "store",
+                "fn": inner.fn if inner is not None else None,
+                "depth": inner.depth if inner is not None else -1,
+                "addr": address,
+                "size": size,
+                "why": why,
+                "touched": touched,
+                "cycle_units": machine.cost.cycle_units,
+            }
+        )
+
+    def on_rand(self, machine, value: int) -> None:
+        inner = self._views[-1] if self._views else None
+        self._emit(
+            {
+                "ev": "rand",
+                "value": value,
+                "fn": inner.fn if inner is not None else None,
+                "cycle_units": machine.cost.cycle_units,
+            }
+        )
+
+    def on_opcode(self, opname: str, units: int) -> None:
+        per_op = self.opcode_hist.get(opname)
+        if per_op is None:
+            per_op = self.opcode_hist[opname] = {}
+        per_op[units] = per_op.get(units, 0) + 1
+
+    def on_end(self, machine, result) -> None:
+        event = {
+            "ev": "end",
+            "outcome": result.outcome,
+            "steps": result.steps,
+            "dropped": self.dropped,
+            "cycle_units": machine.cost.cycle_units,
+        }
+        # The end event must always land, cap or no cap.
+        self.events.append(event)
+
+    # -- queries --------------------------------------------------------------------
+
+    def crossing_events(self) -> List[dict]:
+        return [
+            event
+            for event in self.events
+            if event["ev"] == "write" and event["why"] in CROSSING_WHYS
+        ]
+
+    def first_crossing(self) -> Optional[dict]:
+        for event in self.events:
+            if event["ev"] == "write" and event["why"] in CROSSING_WHYS:
+                return event
+        return None
+
+    def cycles_by_opcode(self) -> Dict[str, dict]:
+        """opcode -> {"count", "cycles"} aggregated from the histogram."""
+        out = {}
+        for opname, per_units in self.opcode_hist.items():
+            count = sum(per_units.values())
+            units = sum(u * n for u, n in per_units.items())
+            out[opname] = {"count": count, "cycles": units / CYCLE_SCALE}
+        return out
+
+    # -- exports --------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+    def chrome_trace(self) -> dict:
+        """``chrome://tracing`` / Perfetto JSON: guest cycles as µs.
+
+        Calls/returns become B/E duration events, boundary-crossing
+        writes and RNG draws become instant events with their payload in
+        ``args``.
+        """
+        trace_events = []
+        for event in self.events:
+            ts = event["cycle_units"] / CYCLE_SCALE
+            kind = event["ev"]
+            if kind == "call":
+                trace_events.append(
+                    {
+                        "name": event["fn"],
+                        "ph": "B",
+                        "ts": ts,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {"layout": event["layout"]},
+                    }
+                )
+            elif kind == "ret":
+                trace_events.append(
+                    {
+                        "name": event["fn"],
+                        "ph": "E",
+                        "ts": ts,
+                        "pid": 1,
+                        "tid": 1,
+                    }
+                )
+            elif kind == "write":
+                trace_events.append(
+                    {
+                        "name": f"write:{event['why']}",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {
+                            k: event[k]
+                            for k in ("kind", "addr", "size", "touched")
+                        },
+                    }
+                )
+            elif kind == "rand":
+                trace_events.append(
+                    {
+                        "name": "ss-rand",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {"value": event["value"]},
+                    }
+                )
+            elif kind == "end":
+                trace_events.append(
+                    {
+                        "name": f"end:{event['outcome']}",
+                        "ph": "i",
+                        "s": "g",
+                        "ts": ts,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {"steps": event["steps"]},
+                    }
+                )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+def validate_events(events) -> List[str]:
+    """Schema-check an event stream; returns a list of problems (empty
+    when valid).  Used by the CI trace smoke stage and the tests."""
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        kind = event.get("ev")
+        schema = EVENT_TYPES.get(kind)
+        if schema is None:
+            problems.append(f"event {index}: unknown ev {kind!r}")
+            continue
+        for field, expected in schema.items():
+            if field not in event:
+                problems.append(f"event {index} ({kind}): missing {field!r}")
+            elif not isinstance(event[field], expected) or (
+                # bool is an int subclass; cycle counts must not be bools
+                isinstance(event[field], bool)
+                and expected is int
+            ):
+                problems.append(
+                    f"event {index} ({kind}): {field!r} has type "
+                    f"{type(event[field]).__name__}"
+                )
+        extras = set(event) - set(schema) - {"ev"}
+        if extras:
+            problems.append(
+                f"event {index} ({kind}): unexpected fields {sorted(extras)}"
+            )
+        if kind == "write" and event.get("why") not in _WRITE_WHYS:
+            problems.append(
+                f"event {index}: bad write why {event.get('why')!r}"
+            )
+    if events and events[-1].get("ev") != "end":
+        problems.append("stream does not finish with an 'end' event")
+    return problems
+
+
+def render_profile(tracer: Tracer, top: int = 0) -> str:
+    """Cycle-histogram summary table for ``repro profile``."""
+    rows = sorted(
+        tracer.cycles_by_opcode().items(),
+        key=lambda item: -item[1]["cycles"],
+    )
+    if top:
+        rows = rows[:top]
+    total_cycles = sum(stats["cycles"] for _, stats in rows) or 1.0
+    lines = [f"{'opcode':<14} {'count':>12} {'cycles':>16} {'share':>7}"]
+    for opname, stats in rows:
+        lines.append(
+            f"{opname:<14} {stats['count']:>12,} "
+            f"{stats['cycles']:>16,.1f} "
+            f"{stats['cycles'] / total_cycles:>6.1%}"
+        )
+    return "\n".join(lines)

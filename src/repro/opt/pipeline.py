@@ -45,4 +45,7 @@ def optimize(module: Module, level: int = 2) -> Dict[str, int]:
         stats["dce"] += eliminate_module(module, remove_dead_allocas=True)
         stats["simplifycfg"] += simplify_module(module)
     verify_module(module)
+    # The module was rewritten in place: invalidate identity-keyed caches
+    # (the VM's alloca layouts and predecoded blocks key on this token).
+    module.bump_version()
     return stats

@@ -6,6 +6,6 @@ compiling, hardening and executing — so the evaluation loop's speed can
 be tracked across changes (see ``scripts/bench_selfspeed.py``).
 """
 
-from repro.perf.timer import PhaseTimer
+from repro.perf.timer import PhaseTimer, PhaseTimerError
 
-__all__ = ["PhaseTimer"]
+__all__ = ["PhaseTimer", "PhaseTimerError"]

@@ -4,14 +4,18 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+
+class PhaseTimerError(RuntimeError):
+    """Misuse of :class:`PhaseTimer`: re-entered phase or unmatched stop."""
 
 
 class PhaseTimer:
     """Accumulates wall-clock seconds per named phase.
 
-    Re-entering a phase name adds to its running total, so one timer can
-    wrap a whole loop of compile/execute iterations::
+    Re-entering a *finished* phase name adds to its running total, so
+    one timer can wrap a whole loop of compile/execute iterations::
 
         timer = PhaseTimer()
         with timer.phase("compile"):
@@ -20,23 +24,68 @@ class PhaseTimer:
             Machine(module).run()
         timer.totals()  # {"compile": ..., "execute": ...}
 
+    Misuse is an error, not silent corruption: starting a phase that is
+    already running (``with timer.phase("x"): ... timer.phase("x")``)
+    raises :class:`PhaseTimerError` — the old behaviour double-counted
+    the overlapped interval — and so does ``stop()`` without a matching
+    ``start()``.  Nesting *different* phase names is fine and always
+    was.
+
     ``clock`` defaults to :func:`time.perf_counter`; tests inject a fake
     so timing arithmetic can be asserted exactly instead of against
-    wall-clock thresholds that flake on slow runners.
+    wall-clock thresholds that flake on slow runners.  ``observer`` (if
+    given) is called ``observer(name, elapsed_seconds)`` on every phase
+    stop — the hook the pipeline uses to feed the metrics registry.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        observer: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
         self._totals: Dict[str, float] = {}
+        self._active: Dict[str, float] = {}
         self._clock = clock if clock is not None else time.perf_counter
+        self._observer = observer
+
+    # -- explicit start/stop ------------------------------------------------------
+
+    def start(self, name: str) -> None:
+        """Begin timing ``name``; raises if it is already running."""
+        if name in self._active:
+            raise PhaseTimerError(
+                f"phase '{name}' started while already running "
+                f"(re-entered phase would double-count)"
+            )
+        self._active[name] = self._clock()
+
+    def stop(self, name: str) -> float:
+        """End timing ``name``; returns this interval's seconds."""
+        try:
+            started = self._active.pop(name)
+        except KeyError:
+            raise PhaseTimerError(
+                f"stop('{name}') without a matching start()"
+            ) from None
+        elapsed = self._clock() - started
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        if self._observer is not None:
+            self._observer(name, elapsed)
+        return elapsed
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = self._clock()
+        self.start(name)
         try:
             yield
         finally:
-            elapsed = self._clock() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self.stop(name)
+
+    # -- queries -------------------------------------------------------------------
+
+    def running(self) -> Tuple[str, ...]:
+        """Names of currently-active phases, in start order."""
+        return tuple(self._active)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds for ``name`` (0.0 if never entered)."""

@@ -66,6 +66,23 @@ def _sentinel_step(frame):
     raise FellOffBlock
 
 
+def _traced_step(step: "Step", opname: str, units: int, tracer) -> "Step":
+    """Wrap a decoded step to feed the tracer's opcode histogram.
+
+    Only traced machines decode through this — an untraced machine's
+    step list is byte-for-byte what it always was, so tracing-off adds
+    zero dispatch overhead.  The histogram hook fires *before* the step
+    body, matching the slow path's charge-then-execute order.
+    """
+    on_opcode = tracer.on_opcode
+
+    def traced(frame):
+        on_opcode(opname, units)
+        step(frame)
+
+    return traced
+
+
 def _undefined(frame, value: Value):
     """Raise the slow path's undefined-value diagnostic."""
     raise VMError(
@@ -287,15 +304,19 @@ class Decoder:
 
     def _decode_block(self, block, function) -> List[Step]:
         cost = self.machine.cost
+        tracer = getattr(self.machine, "_tracer", None)
         name = function.name
         code = []
         for inst in block.instructions:
             units = cost.instruction_units(inst, name)
             decode = self._decoders.get(type(inst))
             if decode is None:
-                code.append(self._decode_unknown(inst, units))
-                continue
-            code.append(decode(inst, function, units))
+                step = self._decode_unknown(inst, units)
+            else:
+                step = decode(inst, function, units)
+            if tracer is not None:
+                step = _traced_step(step, type(inst).__name__, units, tracer)
+            code.append(step)
         code.append(_sentinel_step)
         return code
 
@@ -546,6 +567,12 @@ class Decoder:
     def _decode_store(self, inst: ir.Store, function, units: int) -> Step:
         cost = self.machine.cost
         memory = self.machine.memory
+        if getattr(self.machine, "_tracer", None) is not None:
+            # Traced machines must not use the inlined bytearray store
+            # paths below — those bypass the Memory methods the write
+            # observer shadows.  The generic path charges the same units
+            # and has identical semantics (it IS memory.write_int).
+            return self._decode_store_observed(inst, units)
         pointer, value = inst.pointer, inst.value
         pointer_folded = self._folded(pointer)
         value_folded = self._folded(value)
@@ -701,6 +728,60 @@ class Decoder:
                     ).to_bytes(size, "little")
                     return
             write_int(address, convert(stored), size)
+
+        return step
+
+    def _decode_store_observed(self, inst: ir.Store, units: int) -> Step:
+        """Store decoding for traced machines: every write goes through
+        the (observer-shadowed) ``Memory`` methods.
+
+        Mirrors ``interpreter._exec_store`` exactly — operand resolution
+        order, value conversion, fault behaviour and the charged units
+        are all identical to both untraced paths, so a traced run stays
+        bit-identical in everything but the event stream.  ``write_int``
+        is looked up per call so the instance-attribute wrapper is seen
+        regardless of when the observer was installed.
+        """
+        cost = self.machine.cost
+        memory = self.machine.memory
+        pointer_get = self._getter(inst.pointer)
+        value_get = self._getter(inst.value)
+        ctype = inst.value.ctype
+        if ctype.is_float():
+            size = ctype.size()
+
+            def step(frame):
+                cost.cycle_units += units
+                address = pointer_get(frame)
+                stored = value_get(frame)
+                memory.write_float(int(address), float(stored), size)
+
+            return step
+        if ctype.is_pointer():
+
+            def step(frame):
+                cost.cycle_units += units
+                address = pointer_get(frame)
+                stored = value_get(frame)
+                memory.write_int(int(address), int(stored) & _U64, 8)
+
+            return step
+        if ctype.is_integer():
+            size = ctype.size()
+
+            def step(frame):
+                cost.cycle_units += units
+                address = pointer_get(frame)
+                stored = value_get(frame)
+                memory.write_int(int(address), int(stored), size)
+
+            return step
+
+        def step(frame, ctype=ctype):
+            cost.cycle_units += units
+            int(pointer_get(frame))
+            value_get(frame)
+            raise VMError(f"cannot store type {ctype}")
 
         return step
 

@@ -47,7 +47,7 @@ from repro.vm.costs import CostModel
 from repro.vm.decode import Decoder, FellOffBlock
 from repro.vm.floatmath import float_to_int_operand, round_f32
 from repro.vm.memory import STACK_TOP, Memory
-from repro.vm.process import ProcessImage, load
+from repro.vm.process import ProcessImage, install_missing_globals, load
 
 DEFAULT_MAX_STEPS = 50_000_000
 _U64 = (1 << 64) - 1
@@ -225,6 +225,14 @@ class Machine:
         first entry, into pre-bound step closures.  ``False`` falls back
         to the original executor-table interpreter; both paths produce
         bit-identical :class:`ExecutionResult` fields.
+    tracer:
+        Optional observability sink (duck-typed; see
+        :class:`repro.obs.trace.Tracer`).  Receives call/return events
+        with concrete frame layouts, every memory write, ``__ss_rand``
+        draws and a per-opcode cycle histogram.  Tracing never changes a
+        run's observables or cycle counts, and a ``tracer=None`` machine
+        executes exactly the untraced code paths (no per-instruction
+        check anywhere).
     """
 
     def __init__(
@@ -241,6 +249,7 @@ class Machine:
         stack_base_offset: int = 0,
         record_frames: bool = False,
         fast_dispatch: bool = True,
+        tracer=None,
     ):
         if isinstance(image_or_module, Module):
             self.image = load(image_or_module)
@@ -274,20 +283,53 @@ class Machine:
         self._cookie_seed = 0x5EED_0001
         self._guest_rng_state = 0x9E3779B97F4A7C15
         self._heap_free: Dict[int, List[int]] = {}
-        # The module is frozen for the machine's lifetime, so the
-        # per-function alloca scan (which walks every instruction) can be
-        # done once instead of on every call.
+        # Per-function alloca layouts and decoded code are valid for one
+        # module *version*: in-place transforms (optimize,
+        # instrument_module) bump ``Module.version`` and
+        # ``_sync_module_version`` drops the caches, so a reused machine
+        # can never serve a stale decode or frame layout.
         self._static_allocas: Dict[Function, List[ir.Alloca]] = {}
+        self._module_version = getattr(self.module, "version", 0)
+        self._tracer = tracer
         self._builtins = self._build_builtin_table()
         self._executors = self._build_executor_table()
+        if tracer is not None:
+            # Installs the memory write observer and wraps the
+            # write-performing builtins; all mechanics live in obs.
+            tracer.attach(self)
         self.fast_dispatch = fast_dispatch
         self._decoder = Decoder(self) if fast_dispatch else None
+
+    def _sync_module_version(self) -> None:
+        """Invalidate per-module caches if the module was transformed.
+
+        The alloca layout cache and the decoder's block cache key on
+        object identity, which an in-place pass does not change — only
+        the version token does.  Mirrors the PR 2 ``Alloca.count``
+        stale-cache fix, one level up.
+        """
+        version = getattr(self.module, "version", 0)
+        if version == self._module_version:
+            return
+        self._module_version = version
+        self._static_allocas.clear()
+        if self._decoder is not None:
+            self._decoder = Decoder(self)
+        # The transform may have added globals (P-BOX tables, PRNG state)
+        # the image has never mapped.
+        install_missing_globals(self.image)
+        if "smokestack" in self.module.metadata:
+            self.cost.variant = "ss"
 
     # -- public API -----------------------------------------------------------------
 
     def run(self, entry: str = "main", args: Tuple[int, ...] = ()) -> ExecutionResult:
         """Execute ``entry`` to completion; never raises for guest errors."""
+        self._sync_module_version()
         function = self.module.get_function(entry)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_start(self, entry)
         try:
             self._push_frame(function, list(args), call_site=None)
             if self.fast_dispatch:
@@ -319,6 +361,8 @@ class Machine:
         self.result.cycles = self.cost.cycles
         self.result.max_rss = self.memory.max_rss_bytes()
         self.result.call_counts = dict(self.call_counts)
+        if tracer is not None:
+            tracer.on_end(self, self.result)
         return self.result
 
     def current_frame(self) -> Frame:
@@ -366,6 +410,7 @@ class Machine:
         the cookie/canary epilogue checks so a smashed probe frame pops
         cleanly.
         """
+        self._sync_module_version()
         function = self.module.get_function(function_name)
         self._push_frame(function, [0] * len(function.params), call_site=None)
         return self.frames[-1]
@@ -429,6 +474,8 @@ class Machine:
             self.frame_trace.append(
                 (function.name, frame.frame_top, frame.local_addresses())
             )
+        if self._tracer is not None:
+            self._tracer.on_call(self, frame)
 
     def _pop_frame(self, return_value: Optional[object]) -> None:
         frame = self.frames.pop()
@@ -448,6 +495,8 @@ class Machine:
                 frame.ret_slot,
                 f"return cookie smashed in '{frame.function.name}'",
             )
+        if self._tracer is not None:
+            self._tracer.on_return(self, frame)
         if self.frames:
             caller = self.frames[-1]
             self._sp = caller.sp
@@ -476,6 +525,7 @@ class Machine:
 
     def _execute_loop(self) -> Optional[int]:
         self._final_return: Optional[object] = None
+        tracer = self._tracer
         while self.frames:
             frame = self.frames[-1]
             if frame.inst_index >= len(frame.block.instructions):
@@ -491,7 +541,16 @@ class Machine:
                     f"step limit of {self.max_steps} exceeded "
                     f"(runaway loop or corrupted counter)"
                 )
-            self.cost.charge_instruction(inst, frame.function.name)
+            if tracer is None:
+                self.cost.charge_instruction(inst, frame.function.name)
+            else:
+                # Same integer units as charge_instruction, with the
+                # opcode histogram fed on the side.
+                units = self.cost.instruction_units(
+                    inst, frame.function.name
+                )
+                self.cost.cycle_units += units
+                tracer.on_opcode(type(inst).__name__, units)
             executor = self._executors.get(type(inst))
             if executor is None:
                 raise VMError(f"no executor for {type(inst).__name__}")

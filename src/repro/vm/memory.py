@@ -136,6 +136,39 @@ class Memory:
         """Context manager that lets the loader write read-only segments."""
         return _Unprotect(self)
 
+    # -- observation -------------------------------------------------------------------
+
+    def set_write_observer(self, observer) -> None:
+        """Install ``observer(address, size)``, called after every write.
+
+        Implemented by shadowing :meth:`write_bytes` and
+        :meth:`write_int` with instance attributes, so an unobserved
+        ``Memory`` pays nothing — the class methods run untouched and no
+        per-write ``if`` exists anywhere.  :meth:`write_float` routes
+        through ``self.write_bytes`` (the instance attribute), so float
+        stores produce exactly one event.  ``observer=None`` removes the
+        wrappers.  Loader writes via :meth:`install` bypass these paths
+        by design (they are not guest stores).
+        """
+        if observer is None:
+            self.__dict__.pop("write_bytes", None)
+            self.__dict__.pop("write_int", None)
+            return
+        base_write_bytes = Memory.write_bytes
+        base_write_int = Memory.write_int
+
+        def write_bytes(address: int, data: bytes) -> None:
+            base_write_bytes(self, address, data)
+            if data:
+                observer(address, len(data))
+
+        def write_int(address: int, value: int, size: int) -> None:
+            base_write_int(self, address, value, size)
+            observer(address, size)
+
+        self.write_bytes = write_bytes
+        self.write_int = write_int
+
     # -- raw byte access ---------------------------------------------------------------
 
     def read_bytes(self, address: int, length: int) -> bytes:

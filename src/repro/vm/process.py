@@ -69,10 +69,33 @@ def _load_globals(image: ProcessImage) -> None:
     # images so every global honours its declared alignment.
     with image.memory.unprotected() as memory:
         for variable in image.module.globals.values():
-            segment = "rodata" if variable.readonly else "data"
-            current_end = (memory.rodata if variable.readonly else memory.data).end
-            padding = align_up(current_end, variable.align) - current_end
-            if padding:
-                memory.install(segment, b"\x00" * padding)
-            address = memory.install(segment, variable.byte_image())
-            image.global_addresses[variable.name] = address
+            _install_global(image, memory, variable)
+
+
+def _install_global(image: ProcessImage, memory: Memory, variable) -> None:
+    segment = "rodata" if variable.readonly else "data"
+    current_end = (memory.rodata if variable.readonly else memory.data).end
+    padding = align_up(current_end, variable.align) - current_end
+    if padding:
+        memory.install(segment, b"\x00" * padding)
+    address = memory.install(segment, variable.byte_image())
+    image.global_addresses[variable.name] = address
+
+
+def install_missing_globals(image: ProcessImage) -> int:
+    """Map globals added to the module *after* the initial load.
+
+    An in-place transform on a still-loaded module can introduce new
+    globals — ``instrument_module`` adds the P-BOX tables and the pseudo
+    RNG state.  A machine reusing its image would fault on their first
+    reference; this appends just the missing ones (existing addresses
+    are stable).  Returns how many were installed.
+    """
+    added = 0
+    with image.memory.unprotected() as memory:
+        for variable in image.module.globals.values():
+            if variable.name in image.global_addresses:
+                continue
+            _install_global(image, memory, variable)
+            added += 1
+    return added

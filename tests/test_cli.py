@@ -315,3 +315,95 @@ class TestProveAndSelective:
         )
         out = capsys.readouterr().out
         assert "selective: 0 proven-safe function(s)" in out
+
+
+class TestTraceCommand:
+    #: 24 bytes into line[16]: overflows upward into level and quota but
+    #: stops short of the return cookie, so the run still exits cleanly.
+    SPILL = "A" * 24
+
+    def test_trace_file_reports_crossing(self, overflowing_file, capsys):
+        status = main(["trace", overflowing_file, "--input", self.SPILL])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "outcome  : exit" in out
+        assert "boundary-crossing" in out
+        assert "first boundary crossing" in out
+        assert "overflow" in out
+
+    def test_trace_exports_jsonl_and_chrome(
+        self, overflowing_file, tmp_path, capsys
+    ):
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        status = main(
+            ["trace", overflowing_file, "--input", self.SPILL,
+             "--writes", "all",
+             "--json", str(jsonl), "--chrome", str(chrome)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        events = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert events[0]["ev"] == "start"
+        assert events[-1]["ev"] == "end"
+        blob = json.loads(chrome.read_text())
+        assert blob["traceEvents"]
+
+    def test_trace_hardened_moves_crossings_in_frame(
+        self, overflowing_file, capsys
+    ):
+        # Under Smokestack the unified permuted frame is one slot: the
+        # same overflow no longer crosses a slot boundary.
+        status = main(
+            ["trace", overflowing_file, "--harden", "--input", self.SPILL]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 boundary-crossing" in out
+
+    def test_trace_attack_forensics_consistent(self, capsys):
+        status = main(
+            ["trace", "--attack", "ripe", "--restarts", "2"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "corruption timeline" in out
+        assert "CONSISTENT" in out
+
+    def test_trace_without_file_or_attack_errors(self, capsys):
+        status = main(["trace"])
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "--attack" in out
+
+    def test_trace_unknown_attack_raises(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            main(["trace", "--attack", "bogus"])
+
+
+class TestProfileCommand:
+    def test_profile_prints_table(self, hello_file, capsys):
+        status = main(["profile", hello_file])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "opcode" in out and "cycles" in out and "share" in out
+        assert "guest cycles" in out
+
+    def test_profile_top_limits_rows(self, hello_file, capsys):
+        assert main(["profile", hello_file, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        table = [
+            line for line in out.splitlines()
+            if line and not line.startswith("outcome")
+        ]
+        # header + at most 2 opcode rows
+        assert len(table) <= 3
+
+    def test_profile_hardened_shows_permute_cost(self, hello_file, capsys):
+        assert main(["profile", hello_file, "--harden"]) == 0
+        out = capsys.readouterr().out
+        assert "Call" in out or "call" in out

@@ -199,3 +199,116 @@ class TestDispatchToggle:
         for block, code in decoder._cache.items():
             # steps + the fell-off-block sentinel
             assert len(code) == len(block.instructions) + 1
+
+
+class TestDecoderStaleness:
+    """Re-transforming a module invalidates a reused machine's caches.
+
+    The bug this pins down: ``Decoder._cache`` and
+    ``Machine._static_allocas`` key on object identity of blocks and
+    instructions.  ``optimize()`` and ``instrument_module()`` rewrite
+    instruction lists in place, so a machine built *before* the rewrite
+    would happily keep serving predecoded closures for detached blocks —
+    stale code, silently wrong results.  ``Module.version`` is the
+    invalidation token; ``Machine.run()`` resyncs on it.
+    """
+
+    SOURCE = """
+    int helper(int x) { int y; y = x * 2; return y + 1; }
+    int main() { int a; a = helper(10); print_int(a); return a - 21; }
+    """
+
+    def test_optimize_bumps_module_version(self):
+        from repro.opt import optimize
+
+        module = compile_source(self.SOURCE)
+        before = module.version
+        optimize(module, 2)
+        assert module.version > before
+
+    def test_instrument_bumps_module_version(self):
+        from repro.core.instrument import instrument_module
+
+        module = compile_source(self.SOURCE)
+        before = module.version
+        instrument_module(module)
+        assert module.version > before
+
+    def test_reused_machine_survives_reoptimize(self):
+        from repro.opt import optimize
+
+        module = compile_source(self.SOURCE)
+        machine = Machine(module)
+        first = machine.run()
+        assert first.exit_code == 0
+        steps_before = machine._steps
+
+        optimize(module, 2)
+        stale = machine.run()
+        # Bit-identical observables; the step *delta* shrinks because -O2
+        # removed instructions (run() accumulates counters across runs).
+        assert stale.exit_code == 0
+        assert stale.int_outputs[-1:] == [21]
+        assert machine._steps - steps_before < steps_before
+
+        # A fresh machine on the rewritten module agrees exactly.
+        fresh = Machine(module).run()
+        assert fresh.exit_code == 0
+        assert fresh.steps == machine._steps - steps_before
+
+    def test_reused_machine_survives_instrumentation(self):
+        from repro.core.instrument import instrument_module
+        from repro.rng.entropy import DeterministicEntropy
+        from repro.rng.sources import make_source
+
+        module = compile_source(self.SOURCE)
+        machine = Machine(module)
+        assert machine.run().exit_code == 0
+        steps_before = machine._steps
+
+        instrument_module(module)
+        machine.rng_source = make_source("pseudo", DeterministicEntropy(7))
+        second = machine.run()
+        assert second.exit_code == 0
+        assert second.int_outputs[-1:] == [21]
+        # Hardened code runs *more* steps (prologue + checks): the stale
+        # predecoded blocks would have replayed the old count instead.
+        assert machine._steps - steps_before > steps_before
+
+        fresh = Machine(
+            module, rng_source=make_source("pseudo", DeterministicEntropy(7))
+        ).run()
+        assert fresh.exit_code == 0
+        assert fresh.steps == machine._steps - steps_before
+
+    def test_reused_slow_machine_resyncs_too(self):
+        from repro.core.instrument import instrument_module
+        from repro.rng.entropy import DeterministicEntropy
+        from repro.rng.sources import make_source
+
+        module = compile_source(self.SOURCE)
+        machine = Machine(module, fast_dispatch=False)
+        assert machine.run().exit_code == 0
+
+        instrument_module(module)
+        machine.rng_source = make_source("pseudo", DeterministicEntropy(7))
+        # _static_allocas held layouts keyed on the dead Alloca objects;
+        # without the resync the hardened prologue would mis-handle them.
+        assert machine.run().exit_code == 0
+
+    def test_version_resync_keeps_dispatch_agreement(self):
+        from repro.core.instrument import instrument_module
+        from repro.rng.entropy import DeterministicEntropy
+        from repro.rng.sources import make_source
+
+        results = []
+        for fast_dispatch in (True, False):
+            module = compile_source(self.SOURCE)
+            machine = Machine(module, fast_dispatch=fast_dispatch)
+            machine.run()
+            instrument_module(module)
+            machine.rng_source = make_source(
+                "pseudo", DeterministicEntropy(3)
+            )
+            results.append(machine.run())
+        assert_identical(results[0], results[1], "post-rewrite reuse")

@@ -219,6 +219,76 @@ class TestCampaign:
         assert serial.outcome_counts == parallel.outcome_counts
         assert serial.checked == parallel.checked
 
+    def test_jobs4_matches_jobs1_with_findings(self, tmp_path, monkeypatch):
+        """Worker-seed plumbing: the parallel campaign is a pure speedup.
+
+        Under an injected dispatcher bug (seed 1 of the default grammar
+        trips it), jobs=1 and jobs=4 must produce the same findings, the
+        same reductions, and byte-identical corpus files.  Workers
+        inherit the monkeypatch via fork, reduction runs in the parent
+        either way.
+        """
+        monkeypatch.setattr(
+            Decoder, "_decode_elemptr", _buggy_decode_elemptr
+        )
+        summaries = {}
+        for jobs in (1, 4):
+            corpus = tmp_path / f"corpus{jobs}"
+            summaries[jobs] = run_campaign(
+                CampaignConfig(
+                    iterations=8,
+                    base_seed=0,
+                    jobs=jobs,
+                    oracles=("dispatch",),
+                    corpus_dir=str(corpus),
+                )
+            )
+        serial, parallel = summaries[1], summaries[4]
+        assert serial.checked == parallel.checked == 8
+        assert serial.outcome_counts == parallel.outcome_counts
+        assert [f.seed for f in serial.findings] == [
+            f.seed for f in parallel.findings
+        ]
+        assert serial.findings, "seed window lost its catching seed"
+        for ours, theirs in zip(serial.findings, parallel.findings):
+            assert ours.oracles == theirs.oracles
+            assert ours.program == theirs.program
+            assert ours.reduced == theirs.reduced
+        # Corpus trees are byte-identical (file names and contents).
+        trees = []
+        for jobs in (1, 4):
+            corpus = tmp_path / f"corpus{jobs}"
+            trees.append(
+                {
+                    path.name: path.read_text()
+                    for path in sorted(corpus.iterdir())
+                }
+            )
+        assert trees[0] == trees[1]
+        assert trees[0], "findings produced no corpus files"
+
+    def test_campaign_populates_metrics(self, tmp_path):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        summary = run_campaign(
+            CampaignConfig(
+                iterations=3, base_seed=0, jobs=1,
+                corpus_dir=None, oracles=("dispatch",),
+            )
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["fuzz_programs_total"] == 3
+        outcome_total = sum(
+            value
+            for key, value in snapshot["counters"].items()
+            if key.startswith("fuzz_outcomes_total{")
+        )
+        assert outcome_total == summary.checked
+        assert "fuzz_campaign_seconds" in snapshot["histograms"]
+        assert snapshot["gauges"].get("fuzz_programs_per_sec", 0) > 0
+
     def test_finding_written_to_corpus(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
             Decoder, "_decode_elemptr", _buggy_decode_elemptr

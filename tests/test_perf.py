@@ -9,7 +9,7 @@ identities), never magnitudes.
 import pytest
 
 from repro.benchsuite import runner
-from repro.perf import PhaseTimer
+from repro.perf import PhaseTimer, PhaseTimerError
 
 
 class FakeClock:
@@ -79,6 +79,83 @@ class TestPhaseTimer:
             pass
         assert set(timer.totals()) == {"a"}
         assert timer.seconds("a") >= 0.0
+
+
+class TestPhaseTimerMisuse:
+    """Misuse raises instead of silently double-counting (the old bug)."""
+
+    def test_reentering_running_phase_raises(self):
+        timer = PhaseTimer(clock=FakeClock([0.0, 1.0, 1.0, 1.0]))
+        with pytest.raises(PhaseTimerError, match="already running"):
+            with timer.phase("x"):
+                with timer.phase("x"):
+                    pass
+
+    def test_reentry_leaves_totals_uncorrupted(self):
+        # The outer phase() still charges its interval via the finally
+        # block; the rejected inner start never reads the clock and must
+        # not add a second interval.
+        timer = PhaseTimer(clock=FakeClock([0.0, 1.0]))
+        with pytest.raises(PhaseTimerError):
+            with timer.phase("x"):
+                timer.start("x")
+        assert timer.totals() == {"x": 1.0}
+        assert timer.running() == ()
+
+    def test_stop_without_start_raises(self):
+        timer = PhaseTimer(clock=FakeClock([0.0]))
+        with pytest.raises(PhaseTimerError, match="without a matching"):
+            timer.stop("never-started")
+        assert timer.totals() == {}
+
+    def test_stop_twice_raises_on_second(self):
+        timer = PhaseTimer(clock=FakeClock([0.0, 1.0]))
+        timer.start("x")
+        assert timer.stop("x") == 1.0
+        with pytest.raises(PhaseTimerError):
+            timer.stop("x")
+
+    def test_explicit_start_stop_interleaved_names(self):
+        # Different names may overlap freely; stop order is unordered.
+        timer = PhaseTimer(clock=FakeClock([0.0, 1.0, 1.0, 1.0]))
+        timer.start("a")
+        timer.start("b")
+        assert timer.running() == ("a", "b")
+        assert timer.stop("a") == 2.0
+        assert timer.stop("b") == 2.0
+        assert timer.totals() == {"a": 2.0, "b": 2.0}
+
+    def test_finished_phase_may_be_reentered(self):
+        # The accumulate-across-loop-iterations contract is unchanged.
+        timer = PhaseTimer(clock=FakeClock([0.0, 1.0, 0.0, 2.0]))
+        with timer.phase("x"):
+            pass
+        with timer.phase("x"):
+            pass
+        assert timer.totals() == {"x": 3.0}
+
+    def test_observer_sees_each_interval(self):
+        seen = []
+        timer = PhaseTimer(
+            clock=FakeClock([0.0, 1.5, 0.0, 2.5]),
+            observer=lambda name, elapsed: seen.append((name, elapsed)),
+        )
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        assert seen == [("a", 1.5), ("a", 2.5)]
+
+    def test_observer_fires_on_exception_path(self):
+        seen = []
+        timer = PhaseTimer(
+            clock=FakeClock([0.0, 0.5]),
+            observer=lambda name, elapsed: seen.append((name, elapsed)),
+        )
+        with pytest.raises(ValueError):
+            with timer.phase("broken"):
+                raise ValueError("boom")
+        assert seen == [("broken", 0.5)]
 
 
 class TestSingleParse:
