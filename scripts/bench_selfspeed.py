@@ -8,6 +8,9 @@ changes:
 * **interpreter** — interpreted instructions/sec under the predecoded
   dispatch, against the ``fast_dispatch=False`` executor-table path
   (identical ExecutionResult required; the script asserts it);
+* **jit** — the IR→Python JIT against both interpreter paths
+  (bit-identical results asserted), with compile-time amortization at
+  1/10/100 runs of the same build;
 * **aes** — T-table AES blocks/sec against the byte-level FIPS-197
   reference implementation;
 * **suite** — wall-clock for a Figure-3-style measurement campaign
@@ -87,6 +90,86 @@ def bench_interpreter(workload_name: str) -> dict:
         "fast_instr_per_sec": round(fast.steps / fast_seconds),
         "slow_instr_per_sec": round(slow.steps / slow_seconds),
         "speedup": round(slow_seconds / fast_seconds, 2),
+    }
+
+
+def bench_jit(workload_name: str) -> dict:
+    """JIT vs predecoded dispatch vs executor table, plus amortization.
+
+    The first jit run pays compilation; reruns on the same module hit
+    the shared code cache.  The amortization table reports effective
+    instr/sec at 1, 10 and 100 runs of the workload (cold cache at run
+    1), which is the number that matters for campaign-style callers —
+    attack brute-force, fuzzing, the defense tournament — that execute
+    one build many times.
+    """
+    from repro.vm.jit import clear_code_cache
+
+    workload = get_workload(workload_name)
+    module = compile_source(workload.source, workload.name)
+
+    def jit_run_seconds() -> tuple:
+        machine = Machine(
+            module, inputs=list(workload.inputs), jit=True
+        )
+        start = time.perf_counter()
+        result = machine.run()
+        return time.perf_counter() - start, result
+
+    clear_code_cache()
+    cold_seconds, jit_result = jit_run_seconds()
+    warm_seconds, warm_result = jit_run_seconds()
+
+    fast = Machine(
+        compile_source(workload.source, workload.name),
+        inputs=list(workload.inputs),
+        fast_dispatch=True,
+    )
+    start = time.perf_counter()
+    fast_result = fast.run()
+    fast_seconds = time.perf_counter() - start
+
+    slow = Machine(
+        compile_source(workload.source, workload.name),
+        inputs=list(workload.inputs),
+        fast_dispatch=False,
+    )
+    start = time.perf_counter()
+    slow_result = slow.run()
+    slow_seconds = time.perf_counter() - start
+
+    for other, label in ((fast_result, "fast"), (slow_result, "slow"),
+                         (warm_result, "jit-warm")):
+        for field in ("outcome", "exit_code", "steps", "cycles",
+                      "int_outputs", "str_outputs", "max_rss"):
+            if getattr(jit_result, field) != getattr(other, field):
+                raise SystemExit(
+                    f"jit mismatch vs {label} on {workload_name}.{field}: "
+                    f"{getattr(jit_result, field)!r} != "
+                    f"{getattr(other, field)!r}"
+                )
+
+    compile_seconds = max(cold_seconds - warm_seconds, 0.0)
+    steps = jit_result.steps
+    amortization = {}
+    for runs in (1, 10, 100):
+        total = cold_seconds + warm_seconds * (runs - 1)
+        amortization[str(runs)] = {
+            "total_seconds": round(total, 4),
+            "instr_per_sec": round(steps * runs / total),
+        }
+    return {
+        "workload": workload_name,
+        "steps": steps,
+        "jit_cold_seconds": round(cold_seconds, 4),
+        "jit_warm_seconds": round(warm_seconds, 4),
+        "compile_seconds": round(compile_seconds, 4),
+        "jit_instr_per_sec": round(steps / warm_seconds),
+        "fast_instr_per_sec": round(fast_result.steps / fast_seconds),
+        "slow_instr_per_sec": round(slow_result.steps / slow_seconds),
+        "speedup_vs_fast": round(fast_seconds / warm_seconds, 2),
+        "speedup_vs_slow": round(slow_seconds / warm_seconds, 2),
+        "amortization_runs": amortization,
     }
 
 
@@ -243,6 +326,7 @@ def main() -> int:
     report = {
         "quick": args.quick,
         "interpreter": bench_interpreter(dispatch_workload),
+        "jit": bench_jit(dispatch_workload),
         "aes": bench_aes(aes_blocks),
         "tracing": bench_tracing(dispatch_workload),
         "suite": bench_suite(suite_names, suite_schemes, args.jobs),
@@ -254,6 +338,15 @@ def main() -> int:
     suite = report["suite"]
     print(f"interpreter: {interp['fast_instr_per_sec']:,} instr/sec "
           f"({interp['speedup']}x over executor-table dispatch)")
+    jit = report["jit"]
+    amort = jit["amortization_runs"]
+    print(f"jit:         {jit['jit_instr_per_sec']:,} instr/sec warm "
+          f"({jit['speedup_vs_fast']}x over predecoded dispatch, "
+          f"{jit['speedup_vs_slow']}x over executor table); compile "
+          f"{jit['compile_seconds']}s, amortized instr/sec at 1/10/100 "
+          f"runs: {amort['1']['instr_per_sec']:,} / "
+          f"{amort['10']['instr_per_sec']:,} / "
+          f"{amort['100']['instr_per_sec']:,}")
     print(f"aes:         {aes_report['ttable_blocks_per_sec']:,} blocks/sec "
           f"({aes_report['speedup']}x over byte-level reference)")
     tracing = report["tracing"]

@@ -96,6 +96,7 @@ def run_baseline(
     opt_level: int = 0,
     module=None,
     fast_dispatch: bool = True,
+    jit: bool = False,
 ) -> RunMeasurement:
     """Execute the unhardened build (default stack protector on).
 
@@ -111,6 +112,7 @@ def run_baseline(
         max_steps=BENCH_MAX_STEPS,
         scheduling_effects=scheduling_effects,
         fast_dispatch=fast_dispatch,
+        jit=jit,
     )
     return _run(machine, workload, "baseline")
 
@@ -122,6 +124,7 @@ def run_hardened(
     entropy_seed: int = 0,
     scheduling_effects: bool = False,
     fast_dispatch: bool = True,
+    jit: bool = False,
 ) -> RunMeasurement:
     """Execute the hardened build under one randomness scheme."""
     source = make_source(scheme, DeterministicEntropy(entropy_seed))
@@ -132,6 +135,7 @@ def run_hardened(
         max_steps=BENCH_MAX_STEPS,
         scheduling_effects=scheduling_effects,
         fast_dispatch=fast_dispatch,
+        jit=jit,
     )
     return _run(machine, workload, scheme)
 
@@ -160,6 +164,7 @@ def measure_workload(
     entropy_seed: int = 0,
     opt_level: int = 0,
     fast_dispatch: bool = True,
+    jit: bool = False,
 ) -> WorkloadMeasurement:
     """Baseline + hardened measurements for one workload.
 
@@ -187,6 +192,7 @@ def measure_workload(
             opt_level,
             module=baseline_module,
             fast_dispatch=fast_dispatch,
+            jit=jit,
         )
         for scheme in schemes:
             run = run_hardened(
@@ -194,6 +200,7 @@ def measure_workload(
                 entropy_seed=entropy_seed,
                 scheduling_effects=scheduling_effects,
                 fast_dispatch=fast_dispatch,
+                jit=jit,
             )
             if run.int_outputs != measurement.baseline.int_outputs:
                 raise BenchmarkError(
@@ -260,6 +267,7 @@ def measure_suite(
     entropy_seed: int = 0,
     jobs: int = 1,
     fast_dispatch: bool = True,
+    jit: bool = False,
 ) -> SuiteResults:
     """Run the full Figure 3/4 measurement campaign.
 
@@ -276,6 +284,7 @@ def measure_suite(
         scheduling_effects=scheduling_effects,
         entropy_seed=entropy_seed,
         fast_dispatch=fast_dispatch,
+        jit=jit,
     )
     if jobs > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:

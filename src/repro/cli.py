@@ -66,7 +66,13 @@ def _inputs_from_args(raw: Optional[List[str]]) -> List[bytes]:
 
 def cmd_run(args) -> int:
     module = compile_source(_read_source(args.file), opt_level=args.opt)
-    machine = Machine(module, inputs=_inputs_from_args(args.input))
+    engine = getattr(args, "engine", "fast")
+    machine = Machine(
+        module,
+        inputs=_inputs_from_args(args.input),
+        fast_dispatch=engine != "slow",
+        jit=engine == "jit",
+    )
     return _print_result(machine.run())
 
 
@@ -351,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="randomness scheme (default aes-10)")
 
     p = sub.add_parser("run", help="compile and execute")
+    p.add_argument("--engine", default="fast", choices=("jit", "fast", "slow"),
+                   help="execution engine: IR→Python JIT, predecoded "
+                        "dispatch (default), or the executor-table "
+                        "interpreter — all bit-identical")
     add_common(p)
     p.add_argument("--input", action="append",
                    help="input chunk (repeatable)")

@@ -2,13 +2,18 @@
 
 One program is parsed **once** and then lowered independently for each
 build the oracles need (lowering never mutates the AST; hardening and
-optimization mutate their module, so each gets a fresh lower).  Four
+optimization mutate their module, so each gets a fresh lower).  Seven
 oracles cross-check the builds:
 
 ``dispatch``
     Predecoded (fast) vs. executor-table (slow) dispatch on the same
     O0 module must produce **bit-identical** ExecutionResults — every
     field, including steps, cycles and max_rss.
+``jit``
+    The IR→Python JIT (:mod:`repro.vm.jit`) on the same O0 module must
+    also be bit-identical to the fast-dispatch reference — every field,
+    including steps, cycles and max_rss — across compiled bodies,
+    per-function interpreter fallbacks, and step-limit deopts.
 ``opt``
     O0 vs. optimized (O2) builds must agree on every *observable* field
     (outcome, exit code, fault kind, printed output).  Step counts
@@ -65,6 +70,7 @@ DEFAULT_HARDEN_SEEDS: Tuple[int, ...] = (1, 2)
 
 ALL_ORACLES: Tuple[str, ...] = (
     "dispatch",
+    "jit",
     "opt",
     "harden",
     "aes",
@@ -207,6 +213,15 @@ def check_program(
         for line in _diff(reference, slow, RESULT_FIELDS):
             verdict.findings.append(
                 OracleFinding("dispatch", f"fast vs slow: {line}")
+            )
+
+    if "jit" in program_oracles:
+        jitted = _run_machine(
+            Machine(baseline_module, max_steps=max_steps, jit=True)
+        )
+        for line in _diff(reference, jitted, RESULT_FIELDS):
+            verdict.findings.append(
+                OracleFinding("jit", f"fast vs jit: {line}")
             )
 
     if "opt" in program_oracles:

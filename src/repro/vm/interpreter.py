@@ -30,6 +30,7 @@ without any special-casing.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -46,6 +47,7 @@ from repro.minic import types as ct
 from repro.vm.costs import CostModel
 from repro.vm.decode import Decoder, FellOffBlock
 from repro.vm.floatmath import float_to_int_operand, round_f32
+from repro.vm.jit import JIT_RECURSION_LIMIT, JitEngine, record_deopt
 from repro.vm.memory import STACK_TOP, Memory
 from repro.vm.process import ProcessImage, install_missing_globals, load
 
@@ -225,6 +227,13 @@ class Machine:
         first entry, into pre-bound step closures.  ``False`` falls back
         to the original executor-table interpreter; both paths produce
         bit-identical :class:`ExecutionResult` fields.
+    jit:
+        Execute through the IR→Python JIT (:mod:`repro.vm.jit`):
+        functions are compiled, on first call, into Python closures
+        with per-block fused step/cycle accounting.  Bit-identical to
+        both interpreter paths; unsupported functions are interpreted
+        in place, and attaching a tracer deopts the whole run to the
+        observed interpreter paths.
     tracer:
         Optional observability sink (duck-typed; see
         :class:`repro.obs.trace.Tracer`).  Receives call/return events
@@ -249,6 +258,7 @@ class Machine:
         stack_base_offset: int = 0,
         record_frames: bool = False,
         fast_dispatch: bool = True,
+        jit: bool = False,
         tracer=None,
     ):
         if isinstance(image_or_module, Module):
@@ -298,7 +308,11 @@ class Machine:
             # write-performing builtins; all mechanics live in obs.
             tracer.attach(self)
         self.fast_dispatch = fast_dispatch
-        self._decoder = Decoder(self) if fast_dispatch else None
+        self.jit = jit
+        # The JIT leans on the decoder for its deopt continuations, so a
+        # jit machine always carries one even with fast_dispatch off.
+        self._decoder = Decoder(self) if (fast_dispatch or jit) else None
+        self._jit_engine: Optional[JitEngine] = None
 
     def _sync_module_version(self) -> None:
         """Invalidate per-module caches if the module was transformed.
@@ -315,6 +329,10 @@ class Machine:
         self._static_allocas.clear()
         if self._decoder is not None:
             self._decoder = Decoder(self)
+        # Compiled JIT bodies bind the old version's step lists and cost
+        # totals; drop the engine so the next run rebinds against the
+        # (shared, version-keyed) code cache.
+        self._jit_engine = None
         # The transform may have added globals (P-BOX tables, PRNG state)
         # the image has never mapped.
         install_missing_globals(self.image)
@@ -332,10 +350,18 @@ class Machine:
             tracer.on_start(self, entry)
         try:
             self._push_frame(function, list(args), call_site=None)
-            if self.fast_dispatch:
-                exit_value = self._execute_loop_fast()
+            if self.jit and tracer is None:
+                exit_value = self._execute_loop_jit()
             else:
-                exit_value = self._execute_loop()
+                if self.jit:
+                    # Observed runs carry per-event hooks compiled code
+                    # does not emit; the whole run deopts to the
+                    # decoded/slow paths, which trace natively.
+                    record_deopt("tracer")
+                if self.fast_dispatch:
+                    exit_value = self._execute_loop_fast()
+                else:
+                    exit_value = self._execute_loop()
             self.result.outcome = "exit"
             self.result.exit_code = exit_value
         except VMFault as fault:
@@ -600,6 +626,28 @@ class Machine:
         if value is None:
             return 0
         return int(value)
+
+    def _execute_loop_jit(self) -> Optional[int]:
+        """The JIT path: compiled function bodies, fused-block accounting.
+
+        Semantically identical to both interpreter loops (see
+        :mod:`repro.vm.jit`).  Guest calls become Python recursion, so
+        the interpreter's 4096-deep guest call limit needs Python
+        recursion headroom; the limit is restored on every exit path.
+        """
+        self._final_return: Optional[object] = None
+        engine = self._jit_engine
+        if engine is None:
+            engine = self._jit_engine = JitEngine(self)
+        old_limit = sys.getrecursionlimit()
+        bumped = old_limit < JIT_RECURSION_LIMIT
+        if bumped:
+            sys.setrecursionlimit(JIT_RECURSION_LIMIT)
+        try:
+            return engine.execute()
+        finally:
+            if bumped:
+                sys.setrecursionlimit(old_limit)
 
     # -- value plumbing -------------------------------------------------------------------
 

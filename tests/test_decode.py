@@ -312,3 +312,74 @@ class TestDecoderStaleness:
             )
             results.append(machine.run())
         assert_identical(results[0], results[1], "post-rewrite reuse")
+
+    def test_reused_jit_machine_survives_reoptimize(self):
+        from repro.opt import optimize
+
+        module = compile_source(self.SOURCE)
+        machine = Machine(module, jit=True)
+        first = machine.run()
+        assert first.exit_code == 0
+        steps_before = machine._steps
+        engine_before = machine._jit_engine
+        assert engine_before is not None
+
+        optimize(module, 2)
+        stale = machine.run()
+        assert stale.exit_code == 0
+        assert stale.int_outputs[-1:] == [21]
+        assert machine._steps - steps_before < steps_before
+        # The old engine bound bodies compiled from the pre-rewrite IR;
+        # the version resync must have dropped it.
+        assert machine._jit_engine is not engine_before
+
+        fresh = Machine(module, jit=True).run()
+        assert fresh.exit_code == 0
+        assert fresh.steps == machine._steps - steps_before
+
+    def test_reused_jit_machine_survives_instrumentation(self):
+        from repro.core.instrument import instrument_module
+        from repro.rng.entropy import DeterministicEntropy
+        from repro.rng.sources import make_source
+
+        module = compile_source(self.SOURCE)
+        machine = Machine(module, jit=True)
+        assert machine.run().exit_code == 0
+        steps_before = machine._steps
+
+        instrument_module(module)
+        machine.rng_source = make_source("pseudo", DeterministicEntropy(7))
+        second = machine.run()
+        assert second.exit_code == 0
+        assert second.int_outputs[-1:] == [21]
+        assert machine._steps - steps_before > steps_before
+
+        fresh = Machine(
+            module,
+            jit=True,
+            rng_source=make_source("pseudo", DeterministicEntropy(7)),
+        ).run()
+        assert fresh.exit_code == 0
+        assert fresh.steps == machine._steps - steps_before
+
+    def test_version_resync_keeps_jit_agreement(self):
+        from repro.core.instrument import instrument_module
+        from repro.rng.entropy import DeterministicEntropy
+        from repro.rng.sources import make_source
+
+        results = []
+        for kwargs in (
+            {"jit": True},
+            {"fast_dispatch": True},
+            {"fast_dispatch": False},
+        ):
+            module = compile_source(self.SOURCE)
+            machine = Machine(module, **kwargs)
+            machine.run()
+            instrument_module(module)
+            machine.rng_source = make_source(
+                "pseudo", DeterministicEntropy(3)
+            )
+            results.append(machine.run())
+        assert_identical(results[0], results[1], "post-rewrite jit vs fast")
+        assert_identical(results[0], results[2], "post-rewrite jit vs slow")

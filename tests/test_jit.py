@@ -1,0 +1,328 @@
+"""IR→Python JIT equivalence: compiled execution must be bit-identical.
+
+The JIT (:mod:`repro.vm.jit`) is, like the predecoded dispatcher, a pure
+performance layer: for every program — benchsuite workloads, hardened
+builds, the canned DOP attacks, programs that fault, trap, or hit the
+step limit mid-block — it must produce exactly the ExecutionResult the
+interpreter paths produce, field for field.  The deopt boundary gets
+special attention: step-limit deopts hand half-executed frames to the
+interpreter, and traced machines must skip the JIT entirely while still
+producing identical runs and event streams.
+"""
+
+import pytest
+
+from repro.benchsuite.programs import WORKLOADS, get_workload
+from repro.core.pipeline import compile_source, harden_source
+from repro.rng.entropy import DeterministicEntropy
+from repro.rng.sources import make_source
+from repro.vm.interpreter import RESULT_FIELDS, Machine
+
+COMPARED_FIELDS = RESULT_FIELDS
+
+
+def assert_identical(jit, reference, label):
+    for field in COMPARED_FIELDS:
+        assert getattr(jit, field) == getattr(reference, field), (
+            f"{label}: jit disagrees on {field}: "
+            f"{getattr(jit, field)!r} != {getattr(reference, field)!r}"
+        )
+
+
+def run_engines(source_text, inputs=(), max_steps=None, **kwargs):
+    """(jit, fast, slow) results for one program."""
+    results = []
+    for engine_kwargs in (
+        {"jit": True},
+        {"fast_dispatch": True},
+        {"fast_dispatch": False},
+    ):
+        machine_kwargs = dict(kwargs, **engine_kwargs)
+        if max_steps is not None:
+            machine_kwargs["max_steps"] = max_steps
+        machine = Machine(
+            compile_source(source_text),
+            inputs=list(inputs),
+            **machine_kwargs,
+        )
+        results.append(machine.run())
+    return results
+
+
+def assert_all_agree(source_text, inputs=(), max_steps=None, label="", **kwargs):
+    jit, fast, slow = run_engines(
+        source_text, inputs=inputs, max_steps=max_steps, **kwargs
+    )
+    assert_identical(jit, fast, f"{label} (vs fast)")
+    assert_identical(jit, slow, f"{label} (vs slow)")
+    return jit
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_baseline_bit_identical(self, name):
+        workload = get_workload(name)
+        jit, fast = (
+            Machine(
+                compile_source(workload.source, name),
+                inputs=list(workload.inputs),
+                jit=use_jit,
+            ).run()
+            for use_jit in (True, False)
+        )
+        assert_identical(jit, fast, name)
+
+    @pytest.mark.parametrize("name", ["libquantum", "sjeng", "lbm"])
+    def test_hardened_bit_identical(self, name):
+        workload = get_workload(name)
+        results = []
+        for use_jit in (True, False):
+            hardened = harden_source(workload.source, None, name)
+            machine = Machine(
+                hardened.module,
+                inputs=list(workload.inputs),
+                rng_source=make_source("aes-10", DeterministicEntropy(0)),
+                jit=use_jit,
+            )
+            results.append(machine.run())
+        assert_identical(results[0], results[1], f"hardened {name}")
+
+
+class TestCannedAttackEquivalence:
+    """All four canned DOP attacks replay identically under the JIT.
+
+    Attack campaigns are the intended JIT consumer (thousands of runs of
+    one build), and they exercise the gnarliest machine behavior:
+    adaptive input hooks, overflow-corrupted frames, cookie and
+    function-identifier checks, hardened prologues drawing randomness.
+    """
+
+    @pytest.mark.parametrize(
+        "attack", ["listing1", "librelp", "proftpd", "wireshark"]
+    )
+    @pytest.mark.parametrize("defense_name", ["none", "smokestack"])
+    def test_campaign_bit_identical(self, attack, defense_name):
+        from repro.attacks import (
+            LibrelpDopAttack,
+            Listing1DopAttack,
+            ProftpdDopAttack,
+            WiresharkDopAttack,
+        )
+        from repro.attacks.harness import run_campaign
+        from repro.defenses import make_defense
+
+        scenario_cls = {
+            "listing1": Listing1DopAttack,
+            "librelp": LibrelpDopAttack,
+            "proftpd": ProftpdDopAttack,
+            "wireshark": WiresharkDopAttack,
+        }[attack]
+
+        def jitted(use_jit):
+            class Wrapped(scenario_cls):
+                def machine_kwargs(self):
+                    kwargs = super().machine_kwargs()
+                    if use_jit:
+                        kwargs["jit"] = True
+                    return kwargs
+
+            return Wrapped()
+
+        attempts = []
+        for use_jit in (True, False):
+            report = run_campaign(
+                jitted(use_jit), make_defense(defense_name),
+                restarts=3, seed=1,
+            )
+            attempts.append(
+                [(a.index, a.outcome, a.detail) for a in report.attempts]
+            )
+        assert attempts[0] == attempts[1], f"{attack} vs {defense_name}"
+
+
+class TestErrorPathEquivalence:
+    def test_out_of_bounds_fault(self):
+        assert_all_agree(
+            "int main() { int b[2]; b[700000] = 9; return 0; }",
+            label="oob store",
+        )
+
+    def test_unmapped_load(self):
+        assert_all_agree(
+            "int main() { int *p; p = (int *) 3145728; return *p; }",
+            label="unmapped load",
+        )
+
+    def test_division_by_zero_trap(self):
+        assert_all_agree(
+            "int main() { int d; d = 0; return 7 / d; }",
+            label="div by zero",
+        )
+
+    def test_negative_vla_fault(self):
+        assert_all_agree(
+            "int main() { int n; n = 0 - 3; int v[n]; v[0] = 1;"
+            " return v[0]; }",
+            label="negative vla",
+        )
+
+    def test_runaway_recursion_hits_call_depth(self):
+        assert_all_agree(
+            "int f(int x) { return f(x + 1); } int main() { return f(0); }",
+            label="runaway recursion",
+        )
+
+    def test_deep_recursion_under_the_limit(self):
+        # 2000 guest frames: deep Python recursion through jitted calls,
+        # but within the VM's 4096 depth limit.
+        assert_all_agree(
+            "int f(int n) { if (n <= 0) { return 0; } return 1 + f(n - 1); }"
+            " int main() { return f(2000) - 2000; }",
+            label="deep recursion",
+        )
+
+    def test_undefined_value_diagnostic_matches(self):
+        # Both engines surface non-dominating IR as the same host VMError
+        # (the fuzzer's harness treats any difference as a finding).
+        from repro.fuzz.oracles import check_program
+
+        verdict = check_program(
+            "int main() { int x; if (0) { x = 1; } return x; }",
+            oracles=("dispatch", "jit"),
+        )
+        assert verdict.ok, [str(f) for f in verdict.findings]
+
+
+class TestDeoptBoundary:
+    """Step-limit deopts: the JIT hands frames to the interpreter with
+    exact accounting at every possible block position."""
+
+    SOURCE = """
+    int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    int main() { print_int(fib(12)); return 0; }
+    """
+
+    def full_steps(self):
+        (result,) = [Machine(compile_source(self.SOURCE)).run()]
+        assert result.outcome == "exit"
+        return result.steps
+
+    def test_every_limit_bit_identical(self):
+        full = self.full_steps()
+        # Every limit: deopt can land at any block of any frame depth.
+        for limit in list(range(1, 120)) + list(range(full - 3, full + 2)):
+            assert_all_agree(
+                self.SOURCE, max_steps=limit, label=f"limit {limit}"
+            )
+
+    def test_limit_sweep_on_faulting_program(self):
+        source = (
+            "int main() { int b[2]; int i;"
+            " for (i = 0; i < 100; i = i + 1) { b[0] = i; }"
+            " b[800000] = 1; return 0; }"
+        )
+        full = Machine(compile_source(source)).run().steps
+        for limit in range(max(1, full - 6), full + 3):
+            assert_all_agree(source, max_steps=limit, label=f"limit {limit}")
+
+
+class TestObservedRunsDeopt:
+    """Machines with observers attached skip the JIT loop but stay
+    bit-identical — including their event streams."""
+
+    def test_traced_jit_run_equals_traced_fast_run(self):
+        from repro.obs import Tracer, validate_events
+
+        workload = get_workload("libquantum")
+        streams = []
+        results = []
+        for use_jit in (True, False):
+            tracer = Tracer(record_writes="all")
+            machine = Machine(
+                compile_source(workload.source, "libquantum"),
+                inputs=list(workload.inputs),
+                jit=use_jit,
+                tracer=tracer,
+            )
+            results.append(machine.run())
+            assert not validate_events(tracer.events)
+            streams.append(tracer.events)
+        assert_identical(results[0], results[1], "traced jit")
+        assert streams[0] == streams[1]
+
+    def test_traced_jit_machine_never_compiles(self):
+        from repro.obs import Tracer
+        from repro.vm.interpreter import Machine as M
+
+        machine = M(
+            compile_source("int main() { return 0; }"),
+            jit=True,
+            tracer=Tracer(),
+        )
+        machine.run()
+        assert machine._jit_engine is None
+
+    def test_probe_frames_on_jit_machine(self):
+        # crosscheck-style probing: push a real frame, corrupt it, pop.
+        # The probe machinery never executes code, so a jit machine must
+        # serve it exactly like an interpreter machine.
+        source = (
+            "int victim(int n) { int buf[4]; int secret;"
+            " buf[0] = n; secret = 99; return secret; }"
+            " int main() { return victim(1) - 99; }"
+        )
+        layouts = []
+        for use_jit in (True, False):
+            machine = Machine(compile_source(source), jit=use_jit)
+            assert machine.run().exit_code == 0
+            frame = machine.push_probe_frame("victim")
+            layouts.append(sorted(frame.alloca_addresses.values()))
+            machine.pop_probe_frame()
+        assert layouts[0] == layouts[1]
+
+    def test_crosscheck_accepts_jit_machine_module(self):
+        from repro.analysis.crosscheck import crosscheck_module
+
+        module = compile_source(
+            "int main() { char buf[8]; int guard;"
+            " guard = 7; buf[0] = 1; return guard - 7; }"
+        )
+        Machine(module, jit=True).run()  # warm the shared code cache
+        results = crosscheck_module(module)
+        assert results and all(r.ok for r in results)
+
+
+class TestEngineSelection:
+    def test_slow_dispatch_jit_machine_still_has_decoder(self):
+        # Deopt continuations need predecoded step lists even when the
+        # caller asked for the executor-table interpreter as fallback.
+        machine = Machine(
+            compile_source("int main() { return 0; }"),
+            fast_dispatch=False,
+            jit=True,
+        )
+        assert machine._decoder is not None
+        assert machine.run().exit_code == 0
+
+    def test_plain_slow_machine_has_no_decoder(self):
+        machine = Machine(
+            compile_source("int main() { return 0; }"), fast_dispatch=False
+        )
+        assert machine._decoder is None
+
+    def test_shared_cache_across_machines_is_bit_identical(self):
+        module = compile_source(
+            "int main() { int s = 0; for (int i = 0; i < 40; i = i + 1)"
+            " { s = s + i; } print_int(s); return 0; }"
+        )
+        first = Machine(module, jit=True).run()
+        second = Machine(module, jit=True).run()  # cache hit
+        assert_identical(second, first, "cache reuse")
+
+    def test_benchsuite_runner_jit_flag(self):
+        from repro.benchsuite.runner import run_baseline
+
+        workload = get_workload("libquantum")
+        jit = run_baseline(workload, jit=True)
+        fast = run_baseline(workload)
+        assert jit == fast

@@ -138,6 +138,62 @@ class TestPipelineMetrics:
         assert solver_iters > 0  # the prover ran the dataflow engine
 
 
+class TestJitMetrics:
+    SOURCE = (
+        "int add(int a, int b) { return a + b; }"
+        " int main() { int s = 0;"
+        " for (int i = 0; i < 50; i = i + 1) { s = add(s, i); }"
+        " return s - 1225; }"
+    )
+
+    def _fresh_registry(self):
+        from repro.obs.metrics import get_registry
+        from repro.vm.jit import clear_code_cache
+
+        registry = get_registry()
+        registry.reset()
+        clear_code_cache()
+        return registry
+
+    def test_jit_run_populates_compile_metrics(self):
+        registry = self._fresh_registry()
+        machine = Machine(compile_source(self.SOURCE), jit=True)
+        result = machine.run()
+        assert result.outcome == "exit" and result.exit_code == 0
+        snap = registry.snapshot()
+        assert snap["counters"]["jit_functions_compiled_total"] == 2
+        assert snap["counters"]["jit_blocks_fused_total"] >= 3
+        assert snap["histograms"]["jit_compile_seconds"]["count"] == 2
+
+    def test_shared_cache_compiles_once_per_module(self):
+        registry = self._fresh_registry()
+        module = compile_source(self.SOURCE)
+        Machine(module, jit=True).run()
+        Machine(module, jit=True).run()  # second machine, same module
+        snap = registry.snapshot()
+        assert snap["counters"]["jit_functions_compiled_total"] == 2
+
+    def test_step_limit_deopt_counted(self):
+        registry = self._fresh_registry()
+        machine = Machine(compile_source(self.SOURCE), jit=True, max_steps=40)
+        result = machine.run()
+        assert result.outcome == "limit"
+        snap = registry.snapshot()
+        assert snap["counters"]["jit_deopts_total{reason=step-limit}"] >= 1
+
+    def test_tracer_fallback_counted(self):
+        registry = self._fresh_registry()
+        machine = Machine(
+            compile_source(self.SOURCE), jit=True, tracer=Tracer()
+        )
+        result = machine.run()
+        assert result.outcome == "exit" and result.exit_code == 0
+        snap = registry.snapshot()
+        assert snap["counters"]["jit_deopts_total{reason=tracer}"] == 1
+        # The whole run deopted: nothing was compiled for it.
+        assert "jit_functions_compiled_total" not in snap["counters"]
+
+
 #: (traced?, fast_dispatch?) — all four execution configurations.
 MODES = [(False, True), (False, False), (True, True), (True, False)]
 
