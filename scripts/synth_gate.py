@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI security-metric gate for the attack synthesizer.
+
+Runs one full synthesis campaign (canned CVE reproductions + checked-in
+examples + a seeded fuzz-victim cohort) across every registered defense,
+writes the ``BENCH_synth.json`` artifact for CI upload, and enforces the
+headline claims.  Any failure exits nonzero:
+
+1. all four canned CVE attacks re-derive from goal predicates alone and
+   land on the **first** attempt against the baseline defense — no
+   layout guessing may be needed when nothing is randomized;
+2. over the whole cohort, smokestack's success rate is **strictly the
+   lowest** of every deployed defense;
+3. on the fuzz cohort the paper's ordering is strict:
+   ``smokestack < static-permute < none``;
+4. no soundness violations (the campaign raises if the planner and the
+   bounds prover ever disagree, or an unexploitable control is "won").
+
+Usage::
+
+    PYTHONPATH=src python scripts/synth_gate.py [--out BENCH_synth.json]
+        [--fuzz 48] [--restarts 8] [--jobs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.synth import (  # noqa: E402
+    SoundnessError,
+    SynthConfig,
+    canned_cases,
+    example_cases,
+    fuzz_cases,
+    run_synth_campaign,
+    write_bench,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples" / "minic"
+
+
+def run(out: str, fuzz: int, restarts: int, seed: int, jobs: int) -> int:
+    failures = []
+    cases = canned_cases() + example_cases(str(EXAMPLES)) + fuzz_cases(fuzz)
+    config = SynthConfig(restarts=restarts, seed=seed, jobs=jobs)
+    try:
+        summary = run_synth_campaign(cases, config)
+    except SoundnessError as error:
+        print(f"synth-gate: SOUNDNESS FAILURE: {error}")
+        return 1
+    write_bench(summary, out)
+    print(summary.format())
+
+    # 1. every canned CVE re-derives first-try on the baseline defense
+    for result in summary.results:
+        if result.kind != "canned":
+            continue
+        baseline = next(
+            (o for o in result.defenses if o.defense == "none"), None
+        )
+        ok = baseline is not None and baseline.first_success == 1
+        marker = "ok" if ok else "GATE FAILURE"
+        shown = None if baseline is None else baseline.first_success
+        print(f"synth-gate: {result.name}: baseline first_success={shown} [{marker}]")
+        if not ok:
+            failures.append(
+                f"{result.name}: expected first-attempt baseline success, "
+                f"got {None if baseline is None else baseline.breakdown}"
+            )
+
+    # 2. smokestack strictly lowest over the whole cohort
+    overall = summary.per_defense()
+    smokestack = overall["smokestack"]["success_rate"]
+    for defense, row in sorted(overall.items()):
+        if defense == "smokestack":
+            continue
+        ok = smokestack < row["success_rate"]
+        marker = "ok" if ok else "GATE FAILURE"
+        print(
+            f"synth-gate: smokestack {smokestack:.3f} < "
+            f"{defense} {row['success_rate']:.3f} [{marker}]"
+        )
+        if not ok:
+            failures.append(
+                f"smokestack rate {smokestack:.3f} not strictly below "
+                f"{defense} ({row['success_rate']:.3f})"
+            )
+
+    # 3. strict ordering on the fuzz cohort
+    fuzz_table = summary.per_defense("fuzz")
+    ordering = [
+        fuzz_table[d]["success_rate"]
+        for d in ("smokestack", "static-permute", "none")
+    ]
+    ok = ordering[0] < ordering[1] < ordering[2]
+    marker = "ok" if ok else "GATE FAILURE"
+    print(
+        "synth-gate: fuzz ordering smokestack {0:.3f} < "
+        "static-permute {1:.3f} < none {2:.3f} [{3}]".format(*ordering, marker)
+    )
+    if not ok:
+        failures.append(
+            "fuzz cohort ordering not strict: "
+            + ", ".join(f"{v:.3f}" for v in ordering)
+        )
+
+    if failures:
+        print("synth-gate: FAILED")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"synth-gate: all checks passed; artifact at {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_synth.json")
+    parser.add_argument("--fuzz", type=int, default=48)
+    parser.add_argument("--restarts", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+    sys.exit(run(args.out, args.fuzz, args.restarts, args.seed, args.jobs))

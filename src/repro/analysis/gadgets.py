@@ -28,13 +28,15 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional
 
-from repro.analysis.taintflow import TaintAnalysis
-from repro.ir.instructions import BinOp, Call, CondBr, Instruction, Load, Store
+from repro.analysis.taintflow import (
+    SinkHit,
+    TaintAnalysis,
+    collect_gadget_sinks,
+)
+from repro.ir.instructions import Call, CondBr, Instruction
 from repro.ir.module import BasicBlock, Function, Module
 from repro.opt.cfg import DominatorTree, reachable_blocks, successors
 
-#: Output builtins usable as exfiltration gadgets.
-_SEND_BUILTINS = frozenset({"output_bytes", "print_str"})
 #: Input builtins providing the corruption opportunity inside a loop.
 _INPUT_BUILTINS = frozenset(
     {"input_read", "input_read_unbounded", "snprintf_sim", "sstrncpy_",
@@ -95,30 +97,47 @@ class GadgetReport:
         )
 
 
+def sink_to_gadget(hit: SinkHit, taint: TaintAnalysis) -> Optional[Gadget]:
+    """Project one shared-census sink onto the executable-gadget taxonomy.
+
+    ``index`` and ``conditional`` sinks are analysis facts (address-shift
+    pressure, dispatcher conditions) rather than standalone executable
+    gadgets, so they map to ``None`` here; dispatcher discovery consumes
+    the conditional information separately.
+    """
+    inst = hit.instruction
+    if hit.kind == "mover":
+        kind = "mov" if taint.is_controlled(inst.value) else "store"
+    elif hit.kind == "deref":
+        kind = "deref"
+    elif hit.kind == "arith":
+        if inst.op not in ("add", "sub"):
+            return None
+        kind = inst.op
+    elif hit.kind == "send":
+        kind = "send"
+    else:
+        return None
+    return Gadget(kind, hit.function, hit.block, inst)
+
+
 def find_gadgets(function: Function, taint: Optional[TaintAnalysis] = None) -> List[Gadget]:
-    """Classify the function's instructions into DOP gadgets."""
+    """Classify the function's instructions into DOP gadgets.
+
+    One projection of :func:`repro.analysis.taintflow.collect_gadget_sinks`
+    — the same walk that produces ``TaintFlowAnalysis.sinks`` — run under
+    the flow-insensitive corruption-model predicate, so the two censuses
+    share a single implementation and cannot drift.
+    """
     taint = taint or TaintAnalysis(function)
+    hits = collect_gadget_sinks(
+        function, lambda value, _inst: taint.is_controlled(value)
+    )
     gadgets: List[Gadget] = []
-    value_feeds_store: Dict[int, bool] = {}
-    for inst in function.instructions():
-        if isinstance(inst, Store):
-            value_feeds_store[id(inst.value)] = True
-    for inst in function.instructions():
-        block_label = inst.block.label if inst.block else "?"
-        if isinstance(inst, Store) and taint.is_controlled(inst.pointer):
-            kind = "mov" if taint.is_controlled(inst.value) else "store"
-            gadgets.append(Gadget(kind, function.name, block_label, inst))
-        elif isinstance(inst, Load) and taint.is_controlled(inst.pointer):
-            gadgets.append(Gadget("deref", function.name, block_label, inst))
-        elif isinstance(inst, BinOp) and inst.op in ("add", "sub"):
-            controlled = all(taint.is_controlled(op) for op in inst.operands)
-            if controlled and value_feeds_store.get(id(inst), False):
-                gadgets.append(
-                    Gadget(inst.op, function.name, block_label, inst)
-                )
-        elif isinstance(inst, Call) and inst.callee_name() in _SEND_BUILTINS:
-            if any(taint.is_controlled(op) for op in inst.operands):
-                gadgets.append(Gadget("send", function.name, block_label, inst))
+    for hit in hits:
+        gadget = sink_to_gadget(hit, taint)
+        if gadget is not None:
+            gadgets.append(gadget)
     return gadgets
 
 

@@ -94,6 +94,72 @@ class SinkHit(NamedTuple):
     tainted_operand: Value
 
 
+#: Canonical sink taxonomy of :func:`collect_gadget_sinks`.
+GADGET_SINK_KINDS = ("mover", "deref", "index", "arith", "conditional", "send")
+
+
+def collect_gadget_sinks(function: Function, tainted) -> List[SinkHit]:
+    """The single gadget-census walk of the repository.
+
+    ``tainted(value, inst) -> bool`` decides whether ``value`` is
+    attacker-influenced at program point ``inst``.  The input-taint sinks
+    (:class:`TaintFlowAnalysis`) close over per-instruction dataflow
+    states; the corruption-model census (``analysis/gadgets.py``) passes
+    a flow-insensitive predicate and ignores ``inst``.  Both taxonomies
+    are projections of the :data:`GADGET_SINK_KINDS` this walk emits, so
+    the two censuses cannot drift (see ``tests/test_synth.py``'s
+    census-identity test).
+    """
+    hits: List[SinkHit] = []
+    fname = function.name
+    feeds_store: Set[int] = {
+        id(inst.value)
+        for inst in function.instructions()
+        if isinstance(inst, Store)
+    }
+    for block in function.blocks:
+        label = block.label
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                if tainted(inst.pointer, inst):
+                    hits.append(
+                        SinkHit("mover", fname, label, inst, inst.pointer)
+                    )
+            elif isinstance(inst, Load):
+                if tainted(inst.pointer, inst):
+                    hits.append(
+                        SinkHit("deref", fname, label, inst, inst.pointer)
+                    )
+            elif isinstance(inst, ElemPtr):
+                if tainted(inst.index, inst):
+                    hits.append(
+                        SinkHit("index", fname, label, inst, inst.index)
+                    )
+            elif isinstance(inst, BinOp):
+                if id(inst) in feeds_store and all(
+                    tainted(op, inst)
+                    or not isinstance(op, (Instruction, Argument))
+                    for op in inst.operands
+                ) and any(tainted(op, inst) for op in inst.operands):
+                    hits.append(
+                        SinkHit("arith", fname, label, inst, inst.lhs)
+                    )
+            elif isinstance(inst, CondBr):
+                if tainted(inst.cond, inst):
+                    hits.append(
+                        SinkHit("conditional", fname, label, inst, inst.cond)
+                    )
+            elif isinstance(inst, Call):
+                if inst.callee_name() in SEND_BUILTINS:
+                    for op in inst.operands:
+                        if tainted(op, inst):
+                            hits.append(
+                                SinkHit("send", fname, label, inst, op)
+                            )
+                            break
+    return hits
+
+
 def pointer_root(value: Value, depth: int = 0) -> Optional[object]:
     """The alloca/global a pointer provably derives from, else None."""
     if depth > 64:
@@ -358,59 +424,19 @@ class TaintFlowAnalysis(ForwardProblem):
         return out
 
     def _collect_sinks(self) -> List[SinkHit]:
-        hits: List[SinkHit] = []
-        fname = self.function.name
-        feeds_store: Set[int] = {
-            id(inst.value)
-            for inst in self.function.instructions()
-            if isinstance(inst, Store)
-        }
+        # Flow-sensitive projection of the shared census walk: the taint
+        # predicate consults the dataflow state just before each sink.
+        states: Dict[int, FrozenSet] = {}
         for block in self.function.blocks:
             for inst, state in self.result.states_in(block):
-                label = block.label
-                if isinstance(inst, Store):
-                    if self._is_tainted(inst.pointer, state):
-                        hits.append(
-                            SinkHit("mover", fname, label, inst, inst.pointer)
-                        )
-                elif isinstance(inst, Load):
-                    if self._is_tainted(inst.pointer, state):
-                        hits.append(
-                            SinkHit("deref", fname, label, inst, inst.pointer)
-                        )
-                elif isinstance(inst, ElemPtr):
-                    if self._is_tainted(inst.index, state):
-                        hits.append(
-                            SinkHit("index", fname, label, inst, inst.index)
-                        )
-                elif isinstance(inst, BinOp):
-                    if id(inst) in feeds_store and all(
-                        self._is_tainted(op, state) or not isinstance(
-                            op, (Instruction, Argument)
-                        )
-                        for op in inst.operands
-                    ) and any(
-                        self._is_tainted(op, state) for op in inst.operands
-                    ):
-                        hits.append(
-                            SinkHit("arith", fname, label, inst, inst.lhs)
-                        )
-                elif isinstance(inst, CondBr):
-                    if self._is_tainted(inst.cond, state):
-                        hits.append(
-                            SinkHit(
-                                "conditional", fname, label, inst, inst.cond
-                            )
-                        )
-                elif isinstance(inst, Call):
-                    if inst.callee_name() in SEND_BUILTINS:
-                        for op in inst.operands:
-                            if self._is_tainted(op, state):
-                                hits.append(
-                                    SinkHit("send", fname, label, inst, op)
-                                )
-                                break
-        return hits
+                states[id(inst)] = state
+
+        def tainted(value: Value, inst: Instruction) -> bool:
+            return self._is_tainted(
+                value, states.get(id(inst), frozenset())
+            )
+
+        return collect_gadget_sinks(self.function, tainted)
 
     def explain_chain(self, sink: SinkHit, limit: int = 12) -> List[str]:
         """Def-use chain from the sink's tainted operand back to a source."""

@@ -215,6 +215,53 @@ def cmd_attack(args) -> int:
     return 0 if report.verdict() == "stopped" else 2
 
 
+def cmd_synth(args) -> int:
+    from repro.synth.campaign import (
+        SoundnessError,
+        SynthConfig,
+        VictimCase,
+        canned_cases,
+        example_cases,
+        fuzz_cases,
+        run_synth_campaign,
+        write_bench,
+    )
+
+    cases = []
+    if args.canned:
+        cases.extend(canned_cases())
+    if args.examples:
+        cases.extend(example_cases())
+    if args.fuzz:
+        cases.extend(fuzz_cases(args.fuzz, start_seed=args.fuzz_seed))
+    if args.file:
+        if not args.goal:
+            print("--file needs --goal (exfil:HEX / exfil-text:STR / corrupt:FN.SLOT=N)")
+            return 2
+        cases.append(
+            VictimCase(args.file, _read_source(args.file), args.goal, kind="file")
+        )
+    if not cases:
+        cases = canned_cases()
+    config = SynthConfig(
+        defenses=tuple(args.defenses or ()),
+        restarts=args.restarts,
+        seed=args.seed,
+        jobs=args.jobs,
+        stop_on_success=not args.exhaustive,
+    )
+    try:
+        summary = run_synth_campaign(cases, config)
+    except SoundnessError as error:
+        print(f"SOUNDNESS VIOLATION: {error}")
+        return 2
+    print(summary.format())
+    if args.json:
+        write_bench(summary, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.benchsuite import measure_suite, render_figure3, render_figure4
 
@@ -420,6 +467,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restarts", type=int, default=4)
     p.add_argument("--seed", type=int, default=2)
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser(
+        "synth", help="synthesize DOP attacks and measure success rates"
+    )
+    p.add_argument("--canned", action="store_true", help="the 4 CVE reproductions")
+    p.add_argument("--examples", action="store_true", help="examples/minic programs")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N", help="N fuzz victims")
+    p.add_argument("--fuzz-seed", type=int, default=0, help="first victim seed")
+    p.add_argument("--file", help="a Mini-C victim file (needs --goal)")
+    p.add_argument("--goal", help="goal predicate for --file")
+    p.add_argument(
+        "--defenses", nargs="*", choices=sorted(defense_names()), default=None
+    )
+    p.add_argument("--restarts", type=int, default=8)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="spend every restart even after a success",
+    )
+    p.add_argument("--json", help="write the BENCH_synth-format report here")
+    p.set_defaults(func=cmd_synth)
 
     p = sub.add_parser("bench", help="Figure 3/4 measurement slice")
     p.add_argument("--workloads", nargs="*", default=None)

@@ -6,7 +6,9 @@ importable individually for tests and one-off investigations:
 * :mod:`repro.fuzz.generator` — seeded Mini-C program generator;
 * :mod:`repro.fuzz.oracles` — the four differential oracles;
 * :mod:`repro.fuzz.reduce` — delta-debugging test-case reducer;
-* :mod:`repro.fuzz.runner` — parallel campaign driver + corpus writer.
+* :mod:`repro.fuzz.runner` — parallel campaign driver + corpus writer;
+* :mod:`repro.fuzz.victims` — known-vulnerable victim generator for the
+  attack-synthesis campaigns (``repro synth --fuzz N``).
 """
 
 from repro.fuzz.generator import GenConfig, ProgramGenerator, generate_program
@@ -23,8 +25,12 @@ from repro.fuzz.runner import (
     Finding,
     run_campaign,
 )
+from repro.fuzz.victims import VictimSpec, generate_victim, generate_victims
 
 __all__ = [
+    "VictimSpec",
+    "generate_victim",
+    "generate_victims",
     "ALL_ORACLES",
     "CampaignConfig",
     "CampaignSummary",

