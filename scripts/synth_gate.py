@@ -16,6 +16,14 @@ headline claims.  Any failure exits nonzero:
 4. no soundness violations (the campaign raises if the planner and the
    bounds prover ever disagree, or an unexploitable control is "won").
 
+Before the dynamic campaign, the static exploitability prover
+(:mod:`repro.analysis.exploit`) triages the cohort: a case whose goal is
+``PROVABLY_ROBUST`` on the baseline defense can never yield a dynamic
+success under *any* defense, so it skips the (much slower) VM campaign
+entirely.  A triaged-out case whose ground truth says a plan exists is
+itself a gate failure, and the summary reports the estimated CI time
+the skip saved.
+
 Usage::
 
     PYTHONPATH=src python scripts/synth_gate.py [--out BENCH_synth.json]
@@ -25,7 +33,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -44,16 +54,79 @@ REPO = Path(__file__).resolve().parent.parent
 EXAMPLES = REPO / "examples" / "minic"
 
 
+def triage(cases):
+    """Static pass: drop cases provably robust on the baseline defense.
+
+    Returns ``(kept, skipped_names, violations, seconds)``.  A skipped
+    case with ``expect_plan=True`` is a violation — the prover called a
+    known-winnable victim robust.
+    """
+    from repro.analysis.exploit import ROBUST, ExploitProver
+    from repro.synth.facts import ProgramFacts
+    from repro.synth.goals import parse_goal
+
+    kept, skipped, violations = [], [], []
+    start = time.perf_counter()
+    for case in cases:
+        try:
+            prover = ExploitProver(ProgramFacts(case.source, case.name))
+            verdict = prover.prove(parse_goal(case.goal), "none").verdict
+        except Exception as error:  # noqa: BLE001 - triage must not drop work
+            print(
+                f"synth-gate: triage error on {case.name} "
+                f"({type(error).__name__}: {error}); keeping it dynamic"
+            )
+            kept.append(case)
+            continue
+        if verdict == ROBUST:
+            if case.expect_plan:
+                violations.append(
+                    f"{case.name}: triage says PROVABLY_ROBUST but ground "
+                    f"truth expects a plan"
+                )
+            skipped.append(case.name)
+        else:
+            kept.append(case)
+    return kept, skipped, violations, time.perf_counter() - start
+
+
 def run(out: str, fuzz: int, restarts: int, seed: int, jobs: int) -> int:
     failures = []
     cases = canned_cases() + example_cases(str(EXAMPLES)) + fuzz_cases(fuzz)
+    kept, skipped, triage_violations, triage_seconds = triage(cases)
+    failures.extend(triage_violations)
+    print(
+        f"synth-gate: static triage kept {len(kept)}/{len(cases)} cases "
+        f"({len(skipped)} PROVABLY_ROBUST skipped) in {triage_seconds:.2f}s"
+    )
     config = SynthConfig(restarts=restarts, seed=seed, jobs=jobs)
+    campaign_start = time.perf_counter()
     try:
-        summary = run_synth_campaign(cases, config)
+        summary = run_synth_campaign(kept, config)
     except SoundnessError as error:
         print(f"synth-gate: SOUNDNESS FAILURE: {error}")
         return 1
+    campaign_seconds = time.perf_counter() - campaign_start
+    saved_estimate = (
+        campaign_seconds / len(kept) * len(skipped) if kept else 0.0
+    )
+    print(
+        f"synth-gate: dynamic campaign {campaign_seconds:.2f}s over "
+        f"{len(kept)} cases; triage saved an estimated "
+        f"{saved_estimate:.2f}s of VM time"
+    )
     write_bench(summary, out)
+    _annotate_bench(
+        out,
+        {
+            "cases_total": len(cases),
+            "cases_kept": len(kept),
+            "skipped_robust": skipped,
+            "triage_seconds": round(triage_seconds, 3),
+            "campaign_seconds": round(campaign_seconds, 3),
+            "estimated_seconds_saved": round(saved_estimate, 3),
+        },
+    )
     print(summary.format())
 
     # 1. every canned CVE re-derives first-try on the baseline defense
@@ -116,6 +189,14 @@ def run(out: str, fuzz: int, restarts: int, seed: int, jobs: int) -> int:
         return 1
     print(f"synth-gate: all checks passed; artifact at {out}")
     return 0
+
+
+def _annotate_bench(path: str, triage_info: dict) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["triage"] = triage_info
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 if __name__ == "__main__":

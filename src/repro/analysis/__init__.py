@@ -35,7 +35,12 @@ from repro.analysis.entropy import (
     minimum_entropy_bits,
     render_entropy_report,
 )
-from repro.analysis.exposure import ExposureScore, score_function, score_module
+from repro.analysis.exposure import (
+    ExposureScore,
+    apply_exploit_verdicts,
+    score_function,
+    score_module,
+)
 from repro.analysis.gadgets import (
     Dispatcher,
     Gadget,
@@ -80,7 +85,49 @@ from repro.analysis.taintflow import (
     attacker_param_indices,
 )
 
+# exploit.py closes the analysis <-> synth cycle (it builds on
+# repro.synth.planner, which itself imports repro.analysis submodules),
+# so its exports resolve lazily: importing them eagerly here would
+# re-enter repro.synth while that package is still initializing.
+_EXPLOIT_EXPORTS = frozenset(
+    {
+        "DETERMINISTIC_DEFENSES",
+        "EXPLOITABLE",
+        "ROBUST",
+        "UNDECIDED",
+        "ExploitProver",
+        "ExploitVerdict",
+        "GadgetGraph",
+        "WitnessChain",
+        "build_gadget_graph",
+        "default_goals",
+        "prove_program",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _EXPLOIT_EXPORTS:
+        from repro.analysis import exploit
+
+        value = getattr(exploit, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.analysis' has no attribute '{name}'")
+
+
 __all__ = [
+    "DETERMINISTIC_DEFENSES",
+    "EXPLOITABLE",
+    "ExploitProver",
+    "ExploitVerdict",
+    "GadgetGraph",
+    "ROBUST",
+    "UNDECIDED",
+    "WitnessChain",
+    "build_gadget_graph",
+    "default_goals",
+    "prove_program",
     "AnalysisError",
     "BufferReach",
     "CrosscheckResult",
@@ -116,6 +163,7 @@ __all__ = [
     "analyze_module_safety",
     "analyze_program",
     "analyze_taint_flow",
+    "apply_exploit_verdicts",
     "attacker_param_indices",
     "baseline_layout",
     "buffer_names",

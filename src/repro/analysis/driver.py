@@ -13,6 +13,7 @@ prefix   category                                    severity
 ``L``    lint (uninit load / constant OOB gep)       error/warning
 ``X``    static-vs-VM cross-check mismatch           error
 ``S``    bounds-safety verdict (``--prove``)         warning/info
+``E``    exploitability verdict (``--exploit``)      warning/info
 =======  ==========================================  ============
 
 With ``prove=True`` the interval bounds prover
@@ -20,6 +21,14 @@ With ``prove=True`` the interval bounds prover
 becomes an ``S`` finding (UNSAFE → warning, UNKNOWN → info), and any
 PROVEN_SAFE slot that nevertheless appears in a possible-reach set is
 an ``S`` *error* — a soundness violation that should never happen.
+
+With ``exploit=True`` the exploitability prover
+(:mod:`repro.analysis.exploit`) runs goal x defense verdicts: a
+PROVABLY_EXPLOITABLE verdict under a deterministic (single-layout)
+defense is a warning (the chain lands on every run), any other verdict
+is informational, and ``--explain E00x`` prints the witness chain.  The
+baseline verdicts are also folded into the exposure ranking via
+:func:`repro.analysis.exposure.apply_exploit_verdicts`.
 
 Identifiers are assigned in deterministic program order, so ``repro
 analyze f.c --explain G003`` names the same finding on every run.
@@ -84,10 +93,13 @@ class ProgramReport:
         self.crosscheck: List[CrosscheckResult] = []
         #: bounds-safety report (``--prove``), None unless requested
         self.safety = None
+        #: exploitability verdicts (``--exploit``), empty unless requested
+        self.exploit: List = []
         #: finding id -> material for --explain
         self._sinks: Dict[str, Tuple[TaintFlowAnalysis, SinkHit]] = {}
         self._diagnostics: Dict[str, Diagnostic] = {}
         self._reach_ids: Dict[str, BufferReach] = {}
+        self._exploit_ids: Dict[str, object] = {}
 
     # -- queries ---------------------------------------------------------------------
 
@@ -123,6 +135,8 @@ class ProgramReport:
                     f"  at: {format_instruction(diag.instruction)} "
                     f"(block {diag.block})"
                 )
+        elif finding_id in self._exploit_ids:
+            lines.append(self._exploit_ids[finding_id].describe())
         elif finding_id in self._reach_ids:
             reach = self._reach_ids[finding_id]
             lines.append("reach under each defense (certain / possible):")
@@ -156,6 +170,15 @@ class ProgramReport:
                     "cookie_reachable": s.cookie_reachable,
                     "sinks": s.sink_counts,
                     "lint": s.lint_counts,
+                    **(
+                        {
+                            "exploit_verdict": s.exploit_verdict,
+                            "exploit_chain_length": s.exploit_chain_length,
+                            "adjusted_score": s.adjusted_score,
+                        }
+                        if s.exploit_verdict is not None
+                        else {}
+                    ),
                 }
                 for s in self.scores
             ],
@@ -180,6 +203,11 @@ class ProgramReport:
             **(
                 {"safety": self.safety.to_dict()}
                 if self.safety is not None
+                else {}
+            ),
+            **(
+                {"exploit": [v.to_dict() for v in self.exploit]}
+                if self.exploit
                 else {}
             ),
         }
@@ -220,6 +248,24 @@ class ProgramReport:
                 + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
                 + f"; fully proven functions: {sorted(proven) or 'none'}"
             )
+        if self.exploit:
+            tally: Dict[str, int] = {}
+            for entry in self.exploit:
+                tally[entry.verdict] = tally.get(entry.verdict, 0) + 1
+            lines.append(
+                "exploitability verdicts: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+            )
+            for entry in self.exploit:
+                chain = (
+                    f" (chain length {entry.witness.length})"
+                    if entry.witness is not None
+                    else ""
+                )
+                lines.append(
+                    f"  {entry.verdict:<20} [{entry.defense}] "
+                    f"{entry.goal}{chain}"
+                )
         return "\n".join(lines)
 
 
@@ -232,11 +278,14 @@ def analyze_program(
     samples: int = 64,
     crosscheck: bool = False,
     prove: bool = False,
+    exploit: bool = False,
+    exploit_goal: Optional[str] = None,
+    exploit_defenses: Optional[Sequence[str]] = None,
 ) -> ProgramReport:
     """Compile ``source`` and run the full analyzer over it."""
     module = compile_source(source, opt_level=opt_level)
     report = ProgramReport(name, module)
-    counters = {"G": 0, "R": 0, "L": 0, "X": 0, "S": 0}
+    counters = {"G": 0, "R": 0, "L": 0, "X": 0, "S": 0, "E": 0}
     param_map = attacker_param_indices(module)
 
     def next_id(prefix: str) -> str:
@@ -369,6 +418,76 @@ def analyze_program(
                     f"PROVEN_SAFE slot inside a possible-reach set: "
                     f"{conflict}",
                 )
+            )
+
+    if exploit:
+        # Lazy: exploit.py builds on repro.synth, which imports back into
+        # repro.analysis submodules (same cycle the package __getattr__
+        # breaks).
+        from repro.analysis.exploit import (
+            DETERMINISTIC_DEFENSES,
+            EXPLOITABLE,
+            ExploitProver,
+            default_goals,
+        )
+        from repro.synth.facts import ProgramFacts
+        from repro.synth.goals import parse_goal
+
+        facts = ProgramFacts(source, name)
+        prover = ExploitProver(facts)
+        goals = (
+            [parse_goal(exploit_goal)]
+            if exploit_goal is not None
+            else default_goals(facts)
+        )
+        chosen = tuple(
+            exploit_defenses if exploit_defenses else MODELED_DEFENSES
+        )
+        by_function: Dict[str, List] = {}
+        for goal in goals:
+            for defense in chosen:
+                entry = prover.prove(goal, defense)
+                report.exploit.append(entry)
+                if entry.verdict == EXPLOITABLE:
+                    severity = (
+                        "warning"
+                        if defense in DETERMINISTIC_DEFENSES
+                        else "info"
+                    )
+                    message = (
+                        f"goal '{entry.goal}' is {entry.verdict} under "
+                        f"'{defense}'"
+                    )
+                    if entry.witness is not None:
+                        message += (
+                            f" (witness chain: {entry.witness.length} writes)"
+                        )
+                else:
+                    severity = "info"
+                    message = (
+                        f"goal '{entry.goal}' is {entry.verdict} under "
+                        f"'{defense}': {entry.reason}"
+                    )
+                function = getattr(goal, "function", "") or "<module>"
+                finding_id = next_id("E")
+                report.findings.append(
+                    Finding(
+                        finding_id,
+                        severity,
+                        f"exploit-{entry.verdict.lower().replace('_', '-')}",
+                        function,
+                        "entry",
+                        message,
+                    )
+                )
+                report._exploit_ids[finding_id] = entry
+                if defense == "none" and function != "<module>":
+                    by_function.setdefault(function, []).append(entry)
+        if by_function:
+            from repro.analysis.exposure import apply_exploit_verdicts
+
+            report.scores = apply_exploit_verdicts(
+                report.scores, by_function
             )
 
     registry = get_registry()

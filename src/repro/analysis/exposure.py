@@ -56,6 +56,23 @@ class ExposureScore(NamedTuple):
     sink_counts: Dict[str, int]
     lint_counts: Dict[str, int]
     score: float
+    #: baseline exploitability verdict from :mod:`repro.analysis.exploit`
+    #: (None when the prover was skipped — ``score`` then stands alone)
+    exploit_verdict: Optional[str] = None
+    #: shortest witness-chain length behind an EXPLOITABLE verdict
+    exploit_chain_length: Optional[int] = None
+    #: verdict-adjusted score; None when the prover was skipped
+    adjusted_score: Optional[float] = None
+
+    @property
+    def effective_score(self) -> float:
+        """Verdict-adjusted score, falling back to the raw heuristic.
+
+        The raw ``score`` is pinned as the fallback: when the exploit
+        prover did not run (``adjusted_score is None``) the ordering is
+        exactly the pre-verdict one.
+        """
+        return self.score if self.adjusted_score is None else self.adjusted_score
 
     def describe(self) -> str:
         sinks = (
@@ -65,10 +82,15 @@ class ExposureScore(NamedTuple):
             )
             or "none"
         )
+        verdict = ""
+        if self.exploit_verdict is not None:
+            verdict = f", verdict={self.exploit_verdict}"
+            if self.adjusted_score is not None:
+                verdict += f", adjusted={self.adjusted_score:.1f}"
         return (
             f"{self.function}: score {self.score:.1f} "
             f"(buffers={self.buffers}, certain-reach={self.certain_reach_slots}, "
-            f"cookie-reach={self.cookie_reachable}, sinks: {sinks})"
+            f"cookie-reach={self.cookie_reachable}, sinks: {sinks}{verdict})"
         )
 
 
@@ -136,3 +158,64 @@ def score_module(module: Module) -> List[ExposureScore]:
     ]
     scores.sort(key=lambda s: (-s.score, s.function))
     return scores
+
+
+def apply_exploit_verdicts(
+    scores: List[ExposureScore],
+    verdicts_by_function: Dict[str, List],
+) -> List[ExposureScore]:
+    """Fold baseline exploitability verdicts into the exposure ranking.
+
+    ``verdicts_by_function`` maps a function name to the
+    :class:`repro.analysis.exploit.ExploitVerdict` list the prover
+    produced for goals rooted in that function's frame (baseline
+    defense).  The adjustment:
+
+    * every goal ``PROVABLY_ROBUST`` — the raw material is unusable; the
+      function scores **0** however many sinks it shows;
+    * any goal ``PROVABLY_EXPLOITABLE`` — boost by the shortest witness
+      chain's brevity (``score * (1 + 1/length)``): a one-write chain is
+      a strictly sharper threat than a five-strike staging dance;
+    * otherwise (``UNKNOWN``, or no verdict for the function) — keep the
+      raw score.
+
+    Functions the prover never saw keep ``adjusted_score=None`` so
+    :attr:`ExposureScore.effective_score` falls back to the pinned raw
+    heuristic, and re-sorting leaves their relative order intact.
+    """
+    adjusted: List[ExposureScore] = []
+    for entry in scores:
+        verdicts = verdicts_by_function.get(entry.function)
+        if not verdicts:
+            adjusted.append(entry)
+            continue
+        kinds = {v.verdict for v in verdicts}
+        chain_lengths = [
+            v.witness.length
+            for v in verdicts
+            if v.witness is not None and v.witness.length > 0
+        ]
+        shortest = min(chain_lengths) if chain_lengths else None
+        if kinds == {"PROVABLY_ROBUST"}:
+            new_score = 0.0
+        elif "PROVABLY_EXPLOITABLE" in kinds and shortest is not None:
+            new_score = entry.score * (1.0 + 1.0 / shortest)
+        else:
+            new_score = entry.score
+        adjusted.append(
+            entry._replace(
+                exploit_verdict=_summary_verdict(kinds),
+                exploit_chain_length=shortest,
+                adjusted_score=new_score,
+            )
+        )
+    adjusted.sort(key=lambda s: (-s.effective_score, s.function))
+    return adjusted
+
+
+def _summary_verdict(kinds) -> str:
+    if "PROVABLY_EXPLOITABLE" in kinds:
+        return "PROVABLY_EXPLOITABLE"
+    if kinds == {"PROVABLY_ROBUST"}:
+        return "PROVABLY_ROBUST"
+    return "UNKNOWN"

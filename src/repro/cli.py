@@ -150,6 +150,20 @@ def cmd_analyze(args) -> int:
     if not sources:
         print("nothing to analyze: pass source files and/or --benchsuite")
         return 2
+    if args.exploit_defenses:
+        from repro.analysis.reach import MODELED_DEFENSES
+
+        unknown = [
+            d
+            for d in args.exploit_defenses.split(",")
+            if d not in MODELED_DEFENSES
+        ]
+        if unknown:
+            print(
+                f"unknown --exploit-defenses {unknown}: "
+                f"choose from {', '.join(MODELED_DEFENSES)}"
+            )
+            return 2
 
     reports = []
     for name, source in sources:
@@ -161,6 +175,13 @@ def cmd_analyze(args) -> int:
                     opt_level=args.opt,
                     crosscheck=args.crosscheck,
                     prove=args.prove,
+                    exploit=args.exploit,
+                    exploit_goal=args.exploit_goal,
+                    exploit_defenses=(
+                        tuple(args.exploit_defenses.split(","))
+                        if args.exploit_defenses
+                        else None
+                    ),
                 )
             )
         except ReproError as exc:
@@ -450,6 +471,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prove", action="store_true",
                    help="run the interval bounds prover and report "
                         "per-slot safety verdicts")
+    p.add_argument("--exploit", action="store_true",
+                   help="run the exploitability prover: "
+                        "PROVABLY_EXPLOITABLE / PROVABLY_ROBUST / UNKNOWN "
+                        "verdicts per goal and defense")
+    p.add_argument("--exploit-goal", metavar="GOAL",
+                   help="goal-grammar text (corrupt:fn.slot=value or "
+                        "exfil:hex) instead of the auto-derived goals")
+    p.add_argument("--exploit-defenses", metavar="NAMES",
+                   help="comma-separated defense list for --exploit "
+                        "(default: all modeled defenses)")
     p.add_argument("--explain", metavar="ID",
                    help="print the def-use chain for one finding and exit")
     p.add_argument("--verbose", action="store_true",

@@ -2,7 +2,7 @@
 
 One program is parsed **once** and then lowered independently for each
 build the oracles need (lowering never mutates the AST; hardening and
-optimization mutate their module, so each gets a fresh lower).  Seven
+optimization mutate their module, so each gets a fresh lower).  Eight
 oracles cross-check the builds:
 
 ``dispatch``
@@ -38,6 +38,11 @@ oracles cross-check the builds:
     (``proven_reach_conflicts``), and executing each buffer's maximal
     feasible write in a probe frame must corrupt no PROVEN_SAFE slot
     (``crosscheck_safety``).
+``exploit``
+    The static exploitability prover (:mod:`repro.analysis.exploit`)
+    must agree with the concrete attack planner on the undefended
+    program: a PROVABLY_ROBUST goal the planner can chain, or a
+    PROVABLY_EXPLOITABLE goal it cannot concretize, is a finding.
 
 Any host Python exception escaping ``Machine.run`` is itself a finding:
 the VM's contract is that guest behavior — however degenerate — lands in
@@ -76,6 +81,7 @@ ALL_ORACLES: Tuple[str, ...] = (
     "aes",
     "reach",
     "safety",
+    "exploit",
 )
 
 #: Observables plus the layout-invariant cost model: compared across
@@ -242,6 +248,9 @@ def check_program(
     if "safety" in program_oracles:
         _check_safety(verdict, baseline_module)
 
+    if "exploit" in program_oracles:
+        _check_exploit(verdict, source, name)
+
     if "harden" in program_oracles:
         hardened = harden_module(
             build(), SmokestackConfig(scheme="pseudo")
@@ -297,6 +306,60 @@ def _check_reach(verdict: ProgramVerdict, baseline_module) -> None:
             verdict.findings.append(
                 OracleFinding("reach", result.describe())
             )
+
+
+#: Goal budget for the exploit oracle; enough to cover both frames of a
+#: typical overflow channel without turning every fuzz run into a full
+#: campaign.
+_EXPLOIT_ORACLE_GOALS = 6
+
+
+def _check_exploit(verdict: ProgramVerdict, source: str, name: str) -> None:
+    """Prover-vs-planner agreement on the undefended program.
+
+    Under the ``none`` defense the two must never contradict each other:
+    a PROVABLY_ROBUST goal the concrete planner can nonetheless chain is
+    an unsound proof, and a PROVABLY_EXPLOITABLE goal the planner cannot
+    concretize means the witness construction drifted from the planner
+    it claims to mirror.
+    """
+    from repro.analysis.exploit import (
+        EXPLOITABLE,
+        ROBUST,
+        ExploitProver,
+        default_goals,
+    )
+    from repro.synth.facts import ProgramFacts
+    from repro.synth.planner import synthesize
+
+    try:
+        facts = ProgramFacts(source, name)
+        prover = ExploitProver(facts)
+        for goal in default_goals(facts, limit=_EXPLOIT_ORACLE_GOALS):
+            result = prover.prove(goal, "none")
+            plan = synthesize(facts, goal)
+            if result.verdict == ROBUST and plan is not None:
+                verdict.findings.append(
+                    OracleFinding(
+                        "exploit",
+                        f"unsound ROBUST: {goal.describe()} proven robust "
+                        f"but the planner built a chain",
+                    )
+                )
+            elif result.verdict == EXPLOITABLE and plan is None:
+                verdict.findings.append(
+                    OracleFinding(
+                        "exploit",
+                        f"phantom witness: {goal.describe()} proven "
+                        f"exploitable but the planner refuses a chain",
+                    )
+                )
+    except Exception as exc:  # noqa: BLE001 - escaping at all is the bug
+        verdict.findings.append(
+            OracleFinding(
+                "exploit", f"host-exception: {type(exc).__name__}: {exc}"
+            )
+        )
 
 
 def _check_safety(verdict: ProgramVerdict, baseline_module) -> None:

@@ -60,6 +60,11 @@ class VictimSpec(NamedTuple):
     marked: bool  #: gate's initial value is a locatable marker constant
     exploitable: bool  #: the read budget crosses the frame boundary
     buffer_size: int
+    #: the static exploitability verdict the control cohort must earn
+    #: (``PROVABLY_ROBUST`` for unexploitable victims, else None — the
+    #: exploitable side degrades with the defense and is checked via the
+    #: campaign's VM cross-gates instead)
+    expected_verdict: Optional[str] = None
 
 
 def _secret(rng: random.Random) -> bytes:
@@ -152,6 +157,7 @@ def generate_victim(seed: int) -> VictimSpec:
         marked=marked,
         exploitable=exploitable,
         buffer_size=buffer_size,
+        expected_verdict=None if exploitable else "PROVABLY_ROBUST",
     )
 
 

@@ -84,6 +84,9 @@ class VictimResult:
     error: Optional[str] = None
     defenses: List[DefenseOutcome] = field(default_factory=list)
     soundness: List[str] = field(default_factory=list)
+    #: static exploitability verdicts (defense -> verdict string), when
+    #: the exploit prover cross-check ran
+    exploit_verdicts: Dict[str, str] = field(default_factory=dict)
 
 
 def check_plan_soundness(
@@ -121,6 +124,76 @@ def check_plan_soundness(
     return violations
 
 
+def check_exploit_soundness(
+    facts: ProgramFacts,
+    case: VictimCase,
+    goal,
+    outcomes: Sequence[DefenseOutcome],
+    verdicts_out: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Cross-check the static exploitability prover against VM outcomes.
+
+    The two mechanical gates from the prover's contract:
+
+    1. a ``PROVABLY_ROBUST`` verdict contradicted by a VM-confirmed
+       success is a soundness violation (the prover claimed no chain
+       exists under *any* deployable layout);
+    2. a ``PROVABLY_EXPLOITABLE`` verdict under a deterministic
+       (single-layout) defense that the VM campaign then *failed* to
+       confirm is equally fatal — certain reach must concretize.
+
+    Additionally, unexploitable control victims (``expect_plan=False``)
+    must come back ``PROVABLY_ROBUST`` under every modeled defense.
+    """
+    try:
+        from repro.analysis.exploit import (
+            DETERMINISTIC_DEFENSES,
+            EXPLOITABLE,
+            ROBUST,
+            ExploitProver,
+        )
+        from repro.analysis.reach import MODELED_DEFENSES
+
+        prover = ExploitProver(facts)
+        violations: List[str] = []
+        checked = {o.defense for o in outcomes if o.defense in MODELED_DEFENSES}
+        if case.expect_plan is False:
+            checked |= set(MODELED_DEFENSES)
+        for defense in sorted(checked):
+            verdict = prover.prove(goal, defense).verdict
+            if verdicts_out is not None:
+                verdicts_out[defense] = verdict
+            if case.expect_plan is False and verdict != ROBUST:
+                violations.append(
+                    f"unexploitable control classified {verdict} "
+                    f"under {defense} (must be {ROBUST})"
+                )
+        for outcome in outcomes:
+            verdict = (verdicts_out or {}).get(outcome.defense)
+            if verdict is None:
+                if outcome.defense not in MODELED_DEFENSES:
+                    continue
+                verdict = prover.prove(goal, outcome.defense).verdict
+            if outcome.successes > 0 and verdict == ROBUST:
+                violations.append(
+                    f"prover says {ROBUST} under {outcome.defense} but the "
+                    f"VM confirmed {outcome.successes} attack success(es)"
+                )
+            if (
+                verdict == EXPLOITABLE
+                and outcome.defense in DETERMINISTIC_DEFENSES
+                and outcome.successes == 0
+            ):
+                violations.append(
+                    f"prover says {EXPLOITABLE} under deterministic defense "
+                    f"{outcome.defense} but no VM attempt succeeded "
+                    f"({outcome.breakdown})"
+                )
+        return violations
+    except Exception as error:  # the cross-check must never mask results
+        return [f"exploit prover error: {type(error).__name__}: {error}"]
+
+
 def run_victim(
     case: VictimCase,
     defenses: Sequence[str],
@@ -128,6 +201,7 @@ def run_victim(
     seed: int = DEFAULT_SEED,
     stop_on_success: bool = True,
     max_steps: int = ATTACK_MAX_STEPS,
+    exploit_check: bool = True,
 ) -> VictimResult:
     """Synthesize against one victim and campaign every defense."""
     try:
@@ -140,27 +214,32 @@ def run_victim(
         )
     result = VictimResult(case.name, case.kind, planned=plan is not None)
     result.soundness = check_plan_soundness(facts, plan)
-    if plan is None:
-        return result
-    result.plan_summary = plan.describe()
-    for defense_name in defenses:
-        scenario = SynthScenario(facts, plan, defense_name, name=case.name)
-        report = run_campaign(
-            scenario,
-            make_defense(defense_name),
-            restarts=restarts,
-            seed=seed,
-            stop_on_success=stop_on_success,
-        )
-        first = report.first_success
-        result.defenses.append(
-            DefenseOutcome(
-                defense=defense_name,
-                verdict=report.verdict(),
-                successes=report.count("success"),
-                attempts=report.total,
-                breakdown=report.breakdown(),
-                first_success=None if first is None else first + 1,
+    if plan is not None:
+        result.plan_summary = plan.describe()
+        for defense_name in defenses:
+            scenario = SynthScenario(facts, plan, defense_name, name=case.name)
+            report = run_campaign(
+                scenario,
+                make_defense(defense_name),
+                restarts=restarts,
+                seed=seed,
+                stop_on_success=stop_on_success,
+            )
+            first = report.first_success
+            result.defenses.append(
+                DefenseOutcome(
+                    defense=defense_name,
+                    verdict=report.verdict(),
+                    successes=report.count("success"),
+                    attempts=report.total,
+                    breakdown=report.breakdown(),
+                    first_success=None if first is None else first + 1,
+                )
+            )
+    if exploit_check:
+        result.soundness.extend(
+            check_exploit_soundness(
+                facts, case, goal, result.defenses, result.exploit_verdicts
             )
         )
     return result
@@ -176,6 +255,7 @@ def _run_victim_job(job: dict) -> VictimResult:
         seed=job["seed"],
         stop_on_success=job["stop_on_success"],
         max_steps=job["max_steps"],
+        exploit_check=job.get("exploit_check", True),
     )
 
 
@@ -262,7 +342,7 @@ def fuzz_cases(count: int, start_seed: int = 0) -> List[VictimCase]:
             spec.source,
             "exfil:" + spec.secret.hex(),
             kind="fuzz",
-            expect_plan=spec.exploitable or None,
+            expect_plan=spec.exploitable,
         )
         for spec in generate_victims(count, start_seed)
     ]
@@ -281,6 +361,8 @@ class SynthConfig:
     jobs: int = 1
     stop_on_success: bool = True
     max_steps: int = ATTACK_MAX_STEPS
+    #: cross-check every result against the static exploitability prover
+    exploit_check: bool = True
 
     def defense_list(self) -> List[str]:
         return list(self.defenses) if self.defenses else sorted(defense_names())
@@ -375,6 +457,7 @@ class SynthSummary:
                         }
                         for outcome in result.defenses
                     },
+                    "exploit_verdicts": result.exploit_verdicts,
                 }
                 for result in self.results
             ],
@@ -451,6 +534,7 @@ def run_synth_campaign(
             "seed": config.seed,
             "stop_on_success": config.stop_on_success,
             "max_steps": config.max_steps,
+            "exploit_check": config.exploit_check,
         }
         for case in cases
     ]

@@ -244,6 +244,35 @@ class TestAnalyzeCommand:
         assert status == 0
         assert "benchsuite:" in out
 
+    def test_analyze_exploit_verdicts(self, capsys):
+        logger = str(EXAMPLES / "vulnerable_logger.c")
+        status = main(
+            ["analyze", logger, "--exploit", "--fail-on", "never"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "exploitability verdicts:" in out
+        assert "PROVABLY_EXPLOITABLE" in out
+        assert "adjusted=" in out  # verdicts folded into exposure
+
+    def test_analyze_exploit_explain_witness(self, capsys):
+        logger = str(EXAMPLES / "vulnerable_logger.c")
+        status = main(
+            ["analyze", logger, "--exploit", "--exploit-defenses", "none",
+             "--explain", "E001"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "strike 1" in out  # the concrete witness chain
+
+    def test_analyze_exploit_unknown_defense(self, capsys):
+        logger = str(EXAMPLES / "vulnerable_logger.c")
+        status = main(
+            ["analyze", logger, "--exploit", "--exploit-defenses", "bogus"]
+        )
+        capsys.readouterr()
+        assert status == 2
+
 
 EXAMPLES = __import__("pathlib").Path(__file__).resolve().parent.parent \
     / "examples" / "minic"

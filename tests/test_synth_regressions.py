@@ -118,6 +118,48 @@ int main() {
 """
 
 
+#: Distilled from the generator's unexploitable control cohort: the read
+#: budget stops 8 bytes *short* of the buffer's end, so no write can
+#: cross into ``run``'s frame however the layouts fall.  The planner must
+#: refuse a chain, and the static exploitability prover must return
+#: PROVABLY_ROBUST — not UNKNOWN — under every modeled defense: this is
+#: the case that keeps the possible-mode over-approximation honest.
+UNEXPLOITABLE_CONTROL = """
+char g_secret[40] = "K4P0ZVEHB2K4P0ZVEHB2K4P0ZVEHB2K4";
+long serve() {
+    char req[32];
+    long n = 0;
+    n = input_read(req, 24);
+    if (n <= 0) {
+        return 0;
+    }
+    output_bytes(req, 312);
+    return 1;
+}
+long run() {
+    long gate = 0;
+    long limit = 4;
+    long r = 0;
+    while (r < limit) {
+        if (serve() == 0) {
+            break;
+        }
+        r = r + 1;
+    }
+    if (gate == 8887305640675026683) {
+        output_bytes(g_secret, 32);
+    }
+    return r;
+}
+int main() {
+    char headroom[448];
+    headroom[0] = 1;
+    return (int)(run() & 1);
+}
+"""
+UNEXPLOITABLE_SECRET = b"K4P0ZVEHB2K4P0ZVEHB2K4P0ZVEHB2K4"
+
+
 def _campaign(source, secret, defense_name, restarts=4, seed=7):
     facts = ProgramFacts(source, "regression")
     plan = synthesize(facts, ExfilGoal(secret))
@@ -155,6 +197,19 @@ class SynthRegressionTest(unittest.TestCase):
         ):
             report = _campaign(source, secret, "smokestack", seed=2)
             self.assertEqual(report.verdict(), "stopped", report.breakdown())
+
+    def test_unexploitable_control_refused_and_proven_robust(self):
+        facts = ProgramFacts(UNEXPLOITABLE_CONTROL, "control")
+        goal = ExfilGoal(UNEXPLOITABLE_SECRET)
+        self.assertIsNone(synthesize(facts, goal))
+
+        from repro.analysis.exploit import ROBUST, ExploitProver
+        from repro.analysis.reach import MODELED_DEFENSES
+
+        prover = ExploitProver(facts)
+        for defense_name in MODELED_DEFENSES:
+            verdict = prover.prove(goal, defense_name)
+            self.assertEqual(verdict.verdict, ROBUST, defense_name)
 
     def test_overread_without_headroom_crashes_instead_of_scoring(self):
         report = _campaign(NO_HEADROOM, b"J0W3Q2XK" * 4, "none")
