@@ -1,0 +1,185 @@
+"""Prover-driven per-function defense assignment.
+
+PR 4's selective hardening answered "which functions need Smokestack at
+all"; this pass generalizes the question to the full registry: *for each
+function, what is the cheapest registered defense under which every
+auto-derived corruption goal in that function's frame is
+PROVABLY_ROBUST?*  The exploit prover (:mod:`repro.analysis.exploit`)
+supplies the verdicts; this module only orders defenses by cost and
+walks the ladder.
+
+The cost order is the deployment story, cheapest first:
+
+==============  ====================================================
+defense         runtime cost intuition
+==============  ====================================================
+none            zero
+shadowstack     one shadow push/pop per call (metadata isolation)
+canary          one cookie check per return
+aslr            one load-time base draw, no per-call work
+padding         dead pad bytes per frame (cache pressure)
+cleanstack      second stack pointer + load-time region draw
+static-permute  compile-time only, but forfeits layout debuggability
+smokestack      per-invocation permutation draw (the paper's price)
+==============  ====================================================
+
+Soundness contract: a function is assigned a defense only when **all**
+its goals are PROVABLY_ROBUST under it.  UNKNOWN is treated exactly
+like PROVABLY_EXPLOITABLE — the ladder keeps climbing — and a function
+whose goals never all turn ROBUST falls back to ``smokestack``, the
+strongest scheme in the registry.  The fallback is recorded as such:
+its verdicts may still be UNKNOWN (brute-force-ably exploitable), which
+is the honest residue the tournament's dynamic campaign measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.analysis.exploit import (
+    ROBUST,
+    ExploitProver,
+    ExploitVerdict,
+    default_goals,
+)
+from repro.analysis.reach import MODELED_DEFENSES
+from repro.synth.facts import ProgramFacts
+from repro.synth.goals import Goal
+
+#: Registry defenses ordered by deployment cost, cheapest first.  Only
+#: entries that are also prover-modeled participate in assignment; the
+#: filter keeps this table valid even if the registry grows a defense
+#: before its layout family lands.
+DEFENSE_COST_RANK: Tuple[str, ...] = (
+    "none",
+    "shadowstack",
+    "canary",
+    "aslr",
+    "padding",
+    "cleanstack",
+    "static-permute",
+    "smokestack",
+)
+
+#: The ladder's terminal fallback when no rung proves every goal ROBUST.
+FALLBACK_DEFENSE = "smokestack"
+
+
+class DefenseAssignment(NamedTuple):
+    """The chosen defense for one function, with its supporting verdicts."""
+
+    function: str
+    defense: str
+    #: every (goal, chosen-defense) verdict backing the choice; empty
+    #: when the function exposes no goals at all
+    verdicts: Tuple[ExploitVerdict, ...]
+    reason: str
+
+    @property
+    def proven(self) -> bool:
+        """True when every backing verdict is PROVABLY_ROBUST."""
+        return bool(self.verdicts) and all(
+            verdict.verdict == ROBUST for verdict in self.verdicts
+        )
+
+    def describe(self) -> str:
+        return f"{self.function}: {self.defense} ({self.reason})"
+
+
+def assign_defenses(
+    facts: ProgramFacts,
+    *,
+    samples: int = 16,
+    seed: int = 0,
+    rank: Sequence[str] = DEFENSE_COST_RANK,
+    goal_limit: int = 12,
+    prover: Optional[ExploitProver] = None,
+) -> List[DefenseAssignment]:
+    """Cheapest-ROBUST defense per function, smokestack fallback.
+
+    Goals come from :func:`default_goals` and are grouped by the frame
+    they corrupt; a function with no goals (no word slots near any
+    channel) needs no defense and is assigned ``none`` outright.
+    """
+    ladder = [name for name in rank if name in MODELED_DEFENSES]
+    if not ladder:
+        raise ValueError("cost rank contains no modeled defense")
+    if prover is None:
+        prover = ExploitProver(facts, samples=samples, seed=seed)
+    by_function: Dict[str, List[Goal]] = {}
+    for goal in default_goals(facts, limit=goal_limit):
+        by_function.setdefault(goal.function, []).append(goal)
+
+    assignments: List[DefenseAssignment] = []
+    for function in facts.functions():
+        goals = by_function.get(function.name, [])
+        if not goals:
+            assignments.append(
+                DefenseAssignment(
+                    function.name,
+                    "none",
+                    (),
+                    "no corruption goals in this frame",
+                )
+            )
+            continue
+        chosen: Optional[DefenseAssignment] = None
+        for defense in ladder:
+            verdicts = tuple(prover.prove(goal, defense) for goal in goals)
+            if all(verdict.verdict == ROBUST for verdict in verdicts):
+                chosen = DefenseAssignment(
+                    function.name,
+                    defense,
+                    verdicts,
+                    f"all {len(verdicts)} goal(s) PROVABLY_ROBUST",
+                )
+                break
+        if chosen is None:
+            verdicts = tuple(
+                prover.prove(goal, FALLBACK_DEFENSE) for goal in goals
+            )
+            residue = sum(
+                1 for verdict in verdicts if verdict.verdict != ROBUST
+            )
+            chosen = DefenseAssignment(
+                function.name,
+                FALLBACK_DEFENSE,
+                verdicts,
+                f"fallback: {residue} goal(s) not proven ROBUST under any "
+                "cheaper defense",
+            )
+        assignments.append(chosen)
+    return assignments
+
+
+def assignment_summary(
+    assignments: Sequence[DefenseAssignment],
+) -> Dict[str, object]:
+    """JSON-ready digest: per-function choices + aggregate facts."""
+    per_function = {
+        assignment.function: {
+            "defense": assignment.defense,
+            "proven": assignment.proven,
+            "goals": len(assignment.verdicts),
+            "reason": assignment.reason,
+        }
+        for assignment in assignments
+    }
+    cheapest_rank = {name: index for index, name in enumerate(DEFENSE_COST_RANK)}
+    costliest = max(
+        (assignment.defense for assignment in assignments),
+        key=lambda name: cheapest_rank.get(name, len(cheapest_rank)),
+        default="none",
+    )
+    return {
+        "functions": per_function,
+        "costliest_assigned": costliest,
+        "all_proven": all(
+            assignment.proven or not assignment.verdicts
+            for assignment in assignments
+        ),
+        "cheaper_than_smokestack": all(
+            assignment.defense != FALLBACK_DEFENSE
+            for assignment in assignments
+        ),
+    }

@@ -227,6 +227,67 @@ def failing(results: Sequence[CrosscheckResult]) -> List[CrosscheckResult]:
     return [result for result in results if not result.ok]
 
 
+def crosscheck_dualstack(
+    module: Module, *, offsets: Sequence[int] = (0, 4096, 65520)
+) -> List[CrosscheckResult]:
+    """Byte-exactness probes for the dual-stack layout families.
+
+    *Shadowstack* deploys the baseline data layout on a machine whose
+    metadata band is isolated — the standard probes must agree unchanged.
+    *Cleanstack* is probed at several load-time displacements of the
+    unclean region: for each, one probe push observes the deployed
+    region distance (``frame.unsafe_top - frame.frame_top``), the model
+    family is anchored to exactly that delta via
+    ``cleanstack_layouts(..., deltas=[delta])``, and the ordinary
+    sentinel/overflow machinery then checks every slot offset and reach
+    set against the VM, byte for byte.
+    """
+    from repro.analysis.partition import machine_partition, partition_module
+    from repro.analysis.reach import cleanstack_layouts
+
+    results: List[CrosscheckResult] = []
+
+    shadow_machine = Machine(module, shadow_stack=True)
+    for function in module.functions.values():
+        results.extend(
+            crosscheck_function(module, function, machine=shadow_machine)
+        )
+
+    partitions = partition_module(module)
+    unclean = machine_partition(partitions)
+    for offset in offsets:
+        machine = Machine(
+            module, clean_partition=unclean, unsafe_stack_offset=offset
+        )
+        for name, function in module.functions.items():
+            descriptor = discover_function(function)
+            if not descriptor.allocations:
+                continue
+            part = partitions.get(name)
+            deltas = None
+            if part is not None and part.unclean_indices:
+                frame = machine.push_probe_frame(name)
+                deltas = [frame.unsafe_top - frame.frame_top]
+                machine.pop_probe_frame()
+            layout = cleanstack_layouts(
+                function, module, partition=part, deltas=deltas
+            )[0]
+            names = unique_slot_names(descriptor.allocations)
+            buffers = [
+                names[id(allocation)]
+                for allocation in descriptor.allocations
+                if allocation.alloca is not None
+                and allocation.alloca.allocated_type.is_array()
+                and not allocation.name.startswith("__")
+            ]
+            for buffer in buffers:
+                for length in probe_lengths(layout, buffer):
+                    results.append(
+                        _probe_once(machine, function, layout, buffer, length)
+                    )
+    return results
+
+
 # ---------------------------------------------------------------------------
 # Safety-proof probes: execute the maximal feasible write per buffer and
 # verify no PROVEN_SAFE sibling loses its sentinel.

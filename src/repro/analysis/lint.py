@@ -1,6 +1,6 @@
-"""Lint diagnostics over the IR: uninitialized loads and constant OOB geps.
+"""Lint diagnostics over the IR: uninit loads, OOB geps, unbounded copies.
 
-Two checks ride on the dataflow framework:
+Three checks ride on the dataflow framework:
 
 * **definite-initialization** — a must-analysis (IntersectLattice over
   the function's static allocas): a root is *definitely initialized* at
@@ -15,11 +15,19 @@ Two checks ride on the dataflow framework:
   field reached through a ``fieldptr`` chain — is checked against the
   array length: out of ``[0, n]`` is an ``error``; exactly ``n``
   (one-past-the-end, legal C for address arithmetic) is an ``error``
-  only when the gep's address is actually loaded/stored.
+  only when the gep's address is actually loaded/stored;
+* **unbounded-taint-copy** — a ``strcpy_``/``memcpy_``-style builtin
+  whose *source* operand carries input taint, with no dominating
+  conditional branch testing any taint-derived value.  The dominating-
+  guard heuristic is deliberately coarse (any tainted compare on a path
+  that must run first counts as "the programmer looked at the data"),
+  so the check is a ``warning``: its misses are unguarded paths the
+  must-dominate test cannot see, never false errors on guarded ones.
 
-Uninitialized reads and deterministic out-of-bounds offsets are exactly
-the raw material of stack DOP gadgets, which is why these are the
-analyzer's lint layer rather than generic style checks.
+Uninitialized reads, deterministic out-of-bounds offsets, and
+length-unchecked attacker copies are exactly the raw material of stack
+DOP gadgets, which is why these are the analyzer's lint layer rather
+than generic style checks.
 """
 
 from __future__ import annotations
@@ -234,12 +242,96 @@ def _static_root(base, depth: int = 0):
     return None
 
 
-def lint_function(function: Function) -> List[Diagnostic]:
-    return check_uninitialized_loads(function) + check_constant_geps(function)
+def check_unbounded_taint_copy(
+    function: Function, module: Optional[Module] = None
+) -> List[Diagnostic]:
+    """Tainted source into a copy builtin with no dominating guard.
+
+    A copy call is *guarded* when some strictly-dominating block ends in
+    a conditional branch whose condition involves a tainted value — the
+    shape every real bounds check on attacker-derived lengths takes in
+    this IR (``if (n > CAP) ...`` where ``n`` came off the wire).  A
+    tainted-source copy with no such dominator runs with whatever length
+    and content the input supplied, on every path.
+    """
+    from repro.analysis.taintflow import COPY_BUILTINS, TaintFlowAnalysis, mem
+    from repro.ir.instructions import CondBr
+    from repro.opt.cfg import DominatorTree
+
+    has_copy = any(
+        isinstance(inst, Call) and inst.callee_name() in COPY_BUILTINS
+        for inst in function.instructions()
+    )
+    if not has_copy:
+        return []
+    taint = TaintFlowAnalysis(function, module)
+    domtree = DominatorTree(function)
+
+    def guarded(block) -> bool:
+        for candidate in function.blocks:
+            if candidate is block:
+                continue
+            if not domtree.dominates(candidate, block):
+                continue
+            terminator = candidate.terminator()
+            if not isinstance(terminator, CondBr):
+                continue
+            state = taint.result.block_out.get(candidate, frozenset())
+            cond = terminator.cond
+            probes = list(getattr(cond, "operands", ())) or [cond]
+            if any(taint._is_tainted(op, state) for op in probes):
+                return True
+        return False
+
+    out: List[Diagnostic] = []
+    for block in function.blocks:
+        for inst, state in taint.result.states_in(block):
+            if not isinstance(inst, Call):
+                continue
+            name = inst.callee_name()
+            if name not in COPY_BUILTINS or not inst.args:
+                continue
+            tainted_sources = []
+            for op in inst.args[1:]:
+                root = pointer_root(op)
+                if taint._is_tainted(op, state) or (
+                    root is not None and mem(root) in state
+                ):
+                    source = (
+                        getattr(root, "var_name", None)
+                        or getattr(op, "name", None)
+                        or "?"
+                    )
+                    tainted_sources.append(source)
+            if not tainted_sources or guarded(block):
+                continue
+            out.append(
+                Diagnostic(
+                    "warning",
+                    "unbounded-taint-copy",
+                    function.name,
+                    block.label,
+                    f"'{name}' copies tainted source "
+                    f"'{tainted_sources[0]}' with no dominating bounds "
+                    "check",
+                    inst,
+                )
+            )
+    return out
+
+
+def lint_function(
+    function: Function, module: Optional[Module] = None
+) -> List[Diagnostic]:
+    return (
+        check_uninitialized_loads(function)
+        + check_constant_geps(function)
+        + check_unbounded_taint_copy(function, module)
+    )
 
 
 def lint_module(module: Module) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     for function in module.functions.values():
-        out.extend(lint_function(function))
+        out.extend(lint_function(function, module))
     return out

@@ -21,6 +21,11 @@ Defenses are modelled by the *set of layouts* they can deploy:
 ``canary``            one layout, canary slot below the cookie
 ``padding``           8 layouts — one per Forrest pad choice
 ``static-permute``    sampled permutations of the declaration order
+``cleanstack``        clean slots fixed in place; unclean slots
+                      relocated as a block to the unclean stack at a
+                      sampled load-time displacement
+``shadowstack``       one layout — return-address isolation moves the
+                      metadata band, not the data slots
 ``smokestack``        the function's own permutation-table rows
                       inside the unified frame (plus fnid slot)
 ====================  ===========================================
@@ -34,6 +39,7 @@ to (near) nothing while prior schemes leave it intact.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.allocations import StackAllocation, discover_function
@@ -50,6 +56,8 @@ MODELED_DEFENSES = (
     "aslr",
     "padding",
     "static-permute",
+    "cleanstack",
+    "shadowstack",
     "smokestack",
 )
 
@@ -272,16 +280,21 @@ def defense_layouts(
     *,
     samples: int = 64,
     seed: int = 0,
+    module: Optional[Module] = None,
 ) -> List[FrameLayout]:
     """The family of concrete layouts ``defense`` can deploy for ``function``.
 
     For randomized schemes the family is sampled (seeded, deterministic);
     ``certain`` facts computed from a sample are conservative in the safe
     direction — a slot must survive every sampled layout to stay certain.
+    ``module`` feeds the interprocedural taint seeding of the cleanstack
+    partition; other families ignore it.
     """
     descriptor = discover_function(function)
     allocations = list(descriptor.allocations)
-    if defense in ("none", "aslr"):
+    if defense in ("none", "aslr", "shadowstack"):
+        # Shadow stacks isolate the metadata band, not the data slots:
+        # the attacker-visible data layout is exactly the baseline.
         return [baseline_layout(function)]
     if defense == "canary":
         return [baseline_layout(function, canary=True)]
@@ -316,11 +329,112 @@ def defense_layouts(
                 )
             )
         return layouts
+    if defense == "cleanstack":
+        return cleanstack_layouts(
+            function, module, samples=samples, seed=seed
+        )
     if defense == "smokestack":
         return smokestack_layouts(function, samples=samples, seed=seed)
     raise ValueError(
         f"unknown defense '{defense}'; modeled: {MODELED_DEFENSES}"
     )
+
+
+def cleanstack_region_slots(
+    function: Function,
+    module: Optional[Module] = None,
+    *,
+    partition=None,
+) -> Tuple[Tuple[Slot, ...], Tuple[Slot, ...]]:
+    """The two halves of a cleanstack frame, each in its own coordinates.
+
+    Clean slots are laid out exactly as the VM's main-stack cursor does
+    (frame top = 0, first slot below the return cookie, unclean indices
+    skipped); unclean slots are laid out by the unclean-stack cursor
+    relative to *its* region top (= 0, no cookie/canary band — metadata
+    never moves to the unclean stack).  ``partition`` may be supplied to
+    reuse a computed :class:`~repro.analysis.partition.FramePartition`.
+    """
+    from repro.analysis.partition import partition_function
+
+    if partition is None:
+        partition = partition_function(function, module)
+    statics = function.static_allocas()
+    unclean_allocas = {
+        statics[index]
+        for index in partition.unclean_indices
+        if index < len(statics)
+    }
+    descriptor = discover_function(function)
+    allocations = list(descriptor.allocations)
+    names = unique_slot_names(allocations)
+    main_slots: List[Slot] = []
+    unsafe_slots: List[Slot] = []
+    cursor = -8
+    u_cursor = 0
+    for allocation in allocations:
+        relocated = (
+            allocation.alloca is not None
+            and allocation.alloca in unclean_allocas
+        )
+        if relocated:
+            u_cursor -= allocation.size
+            u_cursor = _align_down(u_cursor, allocation.align)
+            unsafe_slots.append(
+                Slot(names[id(allocation)], u_cursor, allocation.size)
+            )
+        else:
+            cursor -= allocation.size
+            cursor = _align_down(cursor, allocation.align)
+            main_slots.append(
+                Slot(names[id(allocation)], cursor, allocation.size)
+            )
+    return tuple(main_slots), tuple(unsafe_slots)
+
+
+def cleanstack_layouts(
+    function: Function,
+    module: Optional[Module] = None,
+    *,
+    samples: int = 64,
+    seed: int = 0,
+    partition=None,
+    deltas: Optional[Sequence[int]] = None,
+) -> List[FrameLayout]:
+    """Taint-partitioned dual-stack layouts.
+
+    One layout per sampled displacement ``delta`` of the unclean region:
+    clean slots keep their exact main-stack offsets in every member,
+    while each unclean slot sits at ``u_lo + delta`` (``u_lo`` relative
+    to the unclean-region top).  The sampled deltas stand in for the
+    load-time draw — any byte-distance fact that survives the whole
+    family is delta-invariant, i.e. purely intra-region, which is the
+    defense's guarantee.  Pass an explicit ``deltas`` (e.g. one observed
+    from a VM probe) to anchor the family for byte-exact cross-checking.
+    """
+    main_slots, unsafe_slots = cleanstack_region_slots(
+        function, module, partition=partition
+    )
+    if not unsafe_slots:
+        # Fully clean frame: single exact layout, nothing relocated.
+        return [FrameLayout(function.name, main_slots, has_canary=False)]
+    if deltas is None:
+        rng = random.Random(seed ^ 0xC1EA)
+        count = max(1, min(8, samples))
+        picked = set()
+        while len(picked) < count:
+            picked.add(-rng.randrange(16 * 1024, 64 * 1024, 16))
+        deltas = sorted(picked)
+    layouts = []
+    for delta in deltas:
+        slots = main_slots + tuple(
+            Slot(slot.name, slot.lo + delta, slot.size)
+            for slot in unsafe_slots
+        )
+        layouts.append(
+            FrameLayout(function.name, slots, has_canary=False)
+        )
+    return layouts
 
 
 def smokestack_layouts(
@@ -363,9 +477,12 @@ def reach_under_defense(
     *,
     samples: int = 64,
     seed: int = 0,
+    module: Optional[Module] = None,
 ) -> BufferReach:
     """certain/possible intra-frame reach of ``buffer`` under ``defense``."""
-    layouts = defense_layouts(function, defense, samples=samples, seed=seed)
+    layouts = defense_layouts(
+        function, defense, samples=samples, seed=seed, module=module
+    )
     certain: Optional[FrozenSet[str]] = None
     possible: FrozenSet[str] = frozenset()
     cookie_certain = True
@@ -401,7 +518,12 @@ def analyze_module_reach(
             for defense in defenses:
                 out.append(
                     reach_under_defense(
-                        function, buffer, defense, samples=samples, seed=seed
+                        function,
+                        buffer,
+                        defense,
+                        samples=samples,
+                        seed=seed,
+                        module=module,
                     )
                 )
     return out

@@ -666,7 +666,7 @@ def proven_reach_conflicts(
                 continue
             for defense in MODELED_DEFENSES:
                 for layout in defense_layouts(
-                    function, defense, samples=samples
+                    function, defense, samples=samples, module=module
                 ):
                     try:
                         base = layout.slot(slot.slot)

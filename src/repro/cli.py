@@ -8,6 +8,7 @@ Commands
 ``gadgets``  DOP gadget census of a program
 ``analyze``  static DOP-surface analysis: reach, taint, lint, exposure
 ``entropy``  per-function layout entropy of a hardened build
+``assign``   prover-driven per-function defense assignment
 ``attack``   replay a named attack campaign against a chosen defense
 ``bench``    run a slice of the Figure 3 measurement campaign
 ``fuzz``     differential fuzzing campaign
@@ -216,6 +217,24 @@ def cmd_entropy(args) -> int:
         opt_level=args.opt,
     )
     print(render_entropy_report(hardened))
+    return 0
+
+
+def cmd_assign(args) -> int:
+    from repro.analysis.assign import assign_defenses, assignment_summary
+    from repro.synth.facts import ProgramFacts
+
+    facts = ProgramFacts(_read_source(args.file), args.file)
+    assignments = assign_defenses(
+        facts, samples=args.samples, seed=args.seed
+    )
+    for assignment in assignments:
+        print(assignment.describe())
+    summary = assignment_summary(assignments)
+    print(
+        f"costliest assigned: {summary['costliest_assigned']}; "
+        f"all proven: {summary['all_proven']}"
+    )
     return 0
 
 
@@ -434,7 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="input chunk (repeatable)")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("harden", help="harden with Smokestack and execute")
+    p = sub.add_parser(
+        "harden",
+        help="harden with Smokestack and execute",
+        # the registry is the single source of truth for what can be
+        # deployed; render it live so new defenses never go stale here
+        epilog="registered defenses: " + ", ".join(defense_names()),
+    )
     add_common(p, harden_opts=True)
     p.add_argument("--input", action="append")
     p.add_argument("--runs", type=int, default=1)
@@ -490,6 +515,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("entropy", help="layout entropy report")
     add_common(p, harden_opts=True)
     p.set_defaults(func=cmd_entropy)
+
+    p = sub.add_parser(
+        "assign",
+        help="prover-driven per-function defense assignment",
+        epilog="candidate defenses (see repro.analysis.assign for the "
+               "cost ladder): " + ", ".join(defense_names()),
+    )
+    p.add_argument("file", help="Mini-C source file")
+    p.add_argument("--samples", type=int, default=16,
+                   help="layout samples per randomized family (default 16)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_assign)
 
     p = sub.add_parser("attack", help="run an attack campaign")
     p.add_argument("name", choices=sorted(_ATTACKS))

@@ -6,7 +6,9 @@ from typing import Callable, Dict, List
 
 from repro.defenses.aslr import StackBaseASLR
 from repro.defenses.base import Defense, NoDefense, StackCanary
+from repro.defenses.cleanstack import CleanStackDefense
 from repro.defenses.padding import ForrestPadding
+from repro.defenses.shadowstack import ShadowStackDefense
 from repro.defenses.smokestack_defense import SmokestackDefense
 from repro.defenses.static_permute import StaticPermutation
 
@@ -16,6 +18,8 @@ _FACTORIES: Dict[str, Callable[[], Defense]] = {
     "aslr": StackBaseASLR,
     "padding": ForrestPadding,
     "static-permute": StaticPermutation,
+    "cleanstack": CleanStackDefense,
+    "shadowstack": ShadowStackDefense,
     "smokestack": SmokestackDefense,
 }
 
@@ -26,7 +30,7 @@ def make_defense(name: str) -> Defense:
         factory = _FACTORIES[name]
     except KeyError:
         raise ValueError(
-            f"unknown defense '{name}'; known: {sorted(_FACTORIES)}"
+            f"unknown defense '{name}'; known: {', '.join(defense_names())}"
         ) from None
     return factory()
 

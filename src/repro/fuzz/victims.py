@@ -27,6 +27,18 @@ layout decision), an unmarked one must be hit by hypothesis guessing.
 Roughly one victim in ten is generated *unexploitable* (read budget
 within the buffer) as a soundness control: no defense should show a
 success there, and the planner should refuse to emit a chain at all.
+
+A second contrast knob targets the dual-stack defense family: in the
+*unclean-gate* variant, ``run()`` folds each request's (attacker-derived)
+status code into ``gate``, which moves the gate into the tainted class
+the CleanStack partition relocates.  Buffer and target then share the
+unclean stack — intra-region distances are deterministic again — so the
+attack survives the dual stack exactly as the CleanStack paper concedes
+for attacks confined to unclean data.  Victims without the fold keep a
+clean gate, which the dual stack defeats outright.  The mix pins the
+tournament's expected ordering: cleanstack beats every per-process-fixed
+scheme on this corpus but not Smokestack, whose per-invocation re-deal
+also covers the unclean region.
 """
 
 from __future__ import annotations
@@ -48,6 +60,9 @@ ECHO_MARGIN = 280  #: echo length beyond the buffer (discloses the caller)
 HEADROOM = 448  #: dead bytes in ``main`` above the disclosed region
 UNEXPLOITABLE_RATE = 0.1
 MARKED_RATE = 0.5
+#: Fraction of victims whose gate is folded into the tainted (unclean)
+#: class — the cohort CleanStack's partition cannot protect.
+UNCLEAN_GATE_RATE = 0.4
 
 
 class VictimSpec(NamedTuple):
@@ -60,6 +75,10 @@ class VictimSpec(NamedTuple):
     marked: bool  #: gate's initial value is a locatable marker constant
     exploitable: bool  #: the read budget crosses the frame boundary
     buffer_size: int
+    #: gate is tainted by request-derived state (lives on the unclean
+    #: stack under cleanstack, so the dual stack does not separate it
+    #: from the overflow buffer)
+    unclean_gate: bool = False
     #: the static exploitability verdict the control cohort must earn
     #: (``PROVABLY_ROBUST`` for unexploitable victims, else None — the
     #: exploitable side degrades with the defense and is checked via the
@@ -88,6 +107,7 @@ def generate_victim(seed: int) -> VictimSpec:
     buffer_size = rng.choice(BUFFER_SIZES)
     exploitable = rng.random() >= UNEXPLOITABLE_RATE
     marked = rng.random() < MARKED_RATE
+    unclean_gate = rng.random() < UNCLEAN_GATE_RATE
     secret = _secret(rng)
     magic = _marker(rng)
     gate_init = _marker(rng) if marked else 0
@@ -106,6 +126,7 @@ def generate_victim(seed: int) -> VictimSpec:
     caller_decls: List[str] = [f"    long gate = {gate_init};"]
     caller_decls.append(f"    long limit = {rng.randint(3, 6)};")
     caller_decls.append("    long r = 0;")
+    caller_decls.append("    long s = 0;")
     for index in range(rng.randint(1, 3)):
         caller_decls.append(f"    long w{index} = {rng.randint(1, 9999)};")
     for index in range(rng.randint(1, 2)):
@@ -131,9 +152,18 @@ def generate_victim(seed: int) -> VictimSpec:
         "long run() {",
         *caller_decls,
         "    while (r < limit) {",
-        "        if (serve() == 0) {",
+        "        s = serve();",
+        "        if (s == 0) {",
         "            break;",
         "        }",
+        *(
+            # The fold is value-preserving (s & 0 == 0) but moves `gate`
+            # into the tainted class: request-derived state reaches its
+            # storage, so the CleanStack partition must relocate it.
+            ["        gate = gate | (s & 0);"]
+            if unclean_gate
+            else []
+        ),
         "        r = r + 1;",
         "    }",
         f"    if (gate == {magic}) {{",
@@ -157,6 +187,7 @@ def generate_victim(seed: int) -> VictimSpec:
         marked=marked,
         exploitable=exploitable,
         buffer_size=buffer_size,
+        unclean_gate=unclean_gate,
         expected_verdict=None if exploitable else "PROVABLY_ROBUST",
     )
 

@@ -13,7 +13,12 @@ which depends on the deployed defense:
 ``padding``
     the reference layout shifted by the Forrest pad — one hypothesis
     per distinct ``(victim pad, caller pad)`` gap signature, cycled by
-    attempt index (the paper's §II-C brute-force bypass).
+    attempt index (the paper's §II-C brute-force bypass);
+``cleanstack``
+    the attacker's region-local view: the buffer's own stack region
+    (unclean if the buffer is relocated, the thinned main stack
+    otherwise) with exact intra-region distances — cross-region targets
+    simply do not exist in the hypothesis, which is the defense working.
 
 All positions are *payload coordinates*: byte 0 is the overflow
 buffer's first byte, increasing toward the frame top and onward into
@@ -109,14 +114,63 @@ def _model(
     )
 
 
+def _cleanstack_model(
+    victim: Function,
+    caller: Optional[Function],
+    buffer: str,
+    module,
+) -> GapModel:
+    """Region-local gap model for the taint-partitioned dual stack.
+
+    If the buffer was relocated to the unclean stack, the reachable
+    world is the unclean region: the victim's unclean slots (offsets
+    relative to the region top), stacked directly below the caller's
+    unclean slice — contiguous, because the unclean-stack pointer
+    descends per frame just like the main one.  Otherwise the buffer
+    lives on the thinned main stack and the model is the partition-aware
+    main layout.  Either way, a planned write whose target sits in the
+    *other* region has no coordinate here and fails to build — which is
+    the defense's guarantee expressed in payload coordinates.
+    """
+    v_main, v_unsafe = reach.cleanstack_region_slots(victim, module)
+    buffer_unsafe = any(slot.name == buffer for slot in v_unsafe)
+    v_slots = v_unsafe if buffer_unsafe else v_main
+    victim_layout = reach.FrameLayout(victim.name, v_slots, has_canary=False)
+    caller_layout = None
+    height = 0
+    if caller is not None:
+        c_main, c_unsafe = reach.cleanstack_region_slots(caller, module)
+        c_slots = c_unsafe if buffer_unsafe else c_main
+        caller_layout = reach.FrameLayout(
+            caller.name, c_slots, has_canary=False
+        )
+        if buffer_unsafe:
+            # Unclean slices carry no cookie/canary band; the region
+            # height is just the slots' 16-aligned extent.
+            lows = [slot.lo for slot in c_slots]
+            height = -reach._align_down(min(lows), 16) if lows else 0
+        else:
+            height = reach.frame_height(caller_layout)
+    return GapModel(
+        victim_layout,
+        caller_layout,
+        height,
+        victim_layout.slot(buffer).lo,
+        False,
+    )
+
+
 def gap_models(
     victim: Function,
     caller: Optional[Function],
     buffer: str,
     defense_name: str,
+    module=None,
 ) -> List[GapModel]:
     """Hypothesis list for one deployed defense (cycled by attempt)."""
     canary = defense_name == "canary"
+    if defense_name == "cleanstack":
+        return [_cleanstack_model(victim, caller, buffer, module)]
     if defense_name != "padding":
         return [_model(victim, caller, buffer, canary=canary)]
     # Padding: one hypothesis per distinct gap signature.  The caller's

@@ -149,6 +149,7 @@ class SynthScenario(AttackScenario):
             plan.channel.caller.function if plan.channel.caller else None,
             plan.channel.buffer,
             defense_name,
+            module=facts.module,
         )
         self.last_probe: Optional[SlotProbe] = None
         self.last_script_error: Optional[str] = None

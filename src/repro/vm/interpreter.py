@@ -31,7 +31,7 @@ without any special-casing.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import (
     SecurityViolation,
@@ -79,6 +79,8 @@ class Frame:
         "sp",
         "call_site",
         "code",
+        "unsafe_top",
+        "saved_usp",
     )
 
     def __init__(self, function: Function):
@@ -96,6 +98,10 @@ class Frame:
         self.canary_addr: Optional[int] = None
         self.sp = 0
         self.call_site: Optional[ir.Call] = None
+        #: top of this frame's unclean-stack slice (0 = frame not split)
+        self.unsafe_top = 0
+        #: unclean-stack pointer to restore on pop (None = frame not split)
+        self.saved_usp: Optional[int] = None
 
     def local_addresses(self) -> Dict[str, int]:
         """var_name -> address for named allocas (used by attack tooling)."""
@@ -256,6 +262,9 @@ class Machine:
         scheduling_effects: bool = False,
         canary_value: int = 0x00E2_57AC_CA0B_0A17,
         stack_base_offset: int = 0,
+        clean_partition: Optional[Dict[str, FrozenSet[int]]] = None,
+        unsafe_stack_offset: int = 0,
+        shadow_stack: bool = False,
         record_frames: bool = False,
         fast_dispatch: bool = True,
         jit: bool = False,
@@ -286,6 +295,23 @@ class Machine:
             )
         # Load-time stack-base randomization (ASLR-style defenses).
         self._stack_top = STACK_TOP - (stack_base_offset & ~0xF)
+        # CleanStack-style dual stack: frames listed in ``clean_partition``
+        # place the named alloca indices on a separate unclean stack in
+        # the lower half of the stack segment, whose top is itself
+        # randomized at load time by ``unsafe_stack_offset``.
+        if not 0 <= unsafe_stack_offset < self.memory.stack.size // 4:
+            raise VMError(
+                f"unsafe_stack_offset {unsafe_stack_offset} out of range"
+            )
+        self.clean_partition = clean_partition
+        self._unsafe_top = (STACK_TOP - self.memory.stack.size // 2) - (
+            unsafe_stack_offset & ~0xF
+        )
+        self._usp = self._unsafe_top
+        # Shadow-stack semantics: the return-address/metadata band lives
+        # out of overflow reach, so the epilogue's cookie comparison never
+        # observes guest corruption (see ``_pop_frame``).
+        self.shadow_stack = shadow_stack
         self.record_frames = record_frames
         self.frame_trace: List[Tuple[str, int, Dict[str, int]]] = []
         self._steps = 0
@@ -445,7 +471,9 @@ class Machine:
         """Discard the top probe frame (no integrity checks, no return)."""
         if not self.frames:
             raise VMError("no probe frame to pop")
-        self.frames.pop()
+        frame = self.frames.pop()
+        if frame.saved_usp is not None:
+            self._usp = frame.saved_usp
         self._sp = self.frames[-1].sp if self.frames else self._stack_top
 
     # -- frame management ---------------------------------------------------------------
@@ -479,11 +507,37 @@ class Machine:
         if static_allocas is None:
             static_allocas = function.static_allocas()
             self._static_allocas[function] = static_allocas
-        for alloca in static_allocas:
-            size = alloca.static_size()
-            cursor -= size
-            cursor = _align_down(cursor, alloca.align)
-            frame.alloca_addresses[alloca] = cursor
+        partition = (
+            self.clean_partition.get(function.name)
+            if self.clean_partition is not None
+            else None
+        )
+        if partition:
+            # Dual-stack frame: unclean slots descend on the unclean
+            # stack, everything else stays in place on the main stack.
+            frame.saved_usp = self._usp
+            u_top = _align_down(self._usp, 16)
+            frame.unsafe_top = u_top
+            u_cursor = u_top
+            for index, alloca in enumerate(static_allocas):
+                size = alloca.static_size()
+                if index in partition:
+                    u_cursor -= size
+                    u_cursor = _align_down(u_cursor, alloca.align)
+                    frame.alloca_addresses[alloca] = u_cursor
+                else:
+                    cursor -= size
+                    cursor = _align_down(cursor, alloca.align)
+                    frame.alloca_addresses[alloca] = cursor
+            u_base = _align_down(u_cursor, 16)
+            self.memory.touch_stack(u_base)
+            self._usp = u_base
+        else:
+            for alloca in static_allocas:
+                size = alloca.static_size()
+                cursor -= size
+                cursor = _align_down(cursor, alloca.align)
+                frame.alloca_addresses[alloca] = cursor
         frame.frame_base = _align_down(cursor, 16)
         frame.sp = frame.frame_base
         self.memory.touch_stack(frame.frame_base)
@@ -514,15 +568,24 @@ class Machine:
                 raise SecurityViolation(
                     "stack-canary", frame.function.name, "canary clobbered"
                 )
-        stored_cookie = self.memory.read_int(frame.ret_slot, 8, signed=False)
-        if stored_cookie != frame.cookie:
-            raise VMFault(
-                "corrupted-return-address",
-                frame.ret_slot,
-                f"return cookie smashed in '{frame.function.name}'",
+        # Under a shadow stack the authoritative return address lives in
+        # the protected region, so whatever the guest wrote over the
+        # in-frame copy is irrelevant to control flow (Shadow Stacks SoK:
+        # backward-edge CFI that is deliberately blind to data attacks).
+        if not self.shadow_stack:
+            stored_cookie = self.memory.read_int(
+                frame.ret_slot, 8, signed=False
             )
+            if stored_cookie != frame.cookie:
+                raise VMFault(
+                    "corrupted-return-address",
+                    frame.ret_slot,
+                    f"return cookie smashed in '{frame.function.name}'",
+                )
         if self._tracer is not None:
             self._tracer.on_return(self, frame)
+        if frame.saved_usp is not None:
+            self._usp = frame.saved_usp
         if self.frames:
             caller = self.frames[-1]
             self._sp = caller.sp

@@ -361,3 +361,81 @@ def test_signed_roundtrip_matches_two_complement(value, size):
     for address in (DATA_BASE, HEAP_BASE, memory.stack.base):
         memory.write_int(address, value, size)
         assert memory.read_int(address, size, signed=True) == expected
+
+
+# -- defense layout families ---------------------------------------------------------
+
+from repro.analysis import reach  # noqa: E402
+from repro.defenses import defense_names  # noqa: E402
+
+
+@st.composite
+def frame_programs(draw):
+    """A one-frame Mini-C program with seeded slot mix + ground truth.
+
+    ``tainted`` routes input into the first buffer so the cleanstack
+    partition has a nonempty unclean class on some examples and is
+    empty on others — both family shapes get exercised.
+    """
+    n_longs = draw(st.integers(min_value=1, max_value=4))
+    arrays = draw(
+        st.lists(st.sampled_from([8, 16, 24, 32, 40]), min_size=1, max_size=3)
+    )
+    decls = [f"    long v{i} = {i + 1};" for i in range(n_longs)]
+    decls += [f"    char b{i}[{size}];" for i, size in enumerate(arrays)]
+    decls = draw(st.permutations(decls))
+    tainted = draw(st.booleans())
+    fill = (
+        f"    long n = input_read(b0, {arrays[0]});"
+        if tainted
+        else "    long n = 0;"
+    )
+    lines = [
+        "long work() {",
+        *decls,
+        fill,
+        "    b0[0] = 1;",
+        "    return n;",
+        "}",
+        "",
+        "int main() { return (int)work(); }",
+        "",
+    ]
+    names = [f"v{i}" for i in range(n_longs)]
+    names += [f"b{i}" for i in range(len(arrays))]
+    return "\n".join(lines), names
+
+
+@settings(max_examples=12, deadline=None)
+@given(frame_programs(), st.integers(min_value=0, max_value=2**16))
+def test_defense_layout_families_satisfy_frame_invariants(program, seed):
+    """Every registered defense's sampled layouts are well-formed frames:
+    all slots below the frame top, pairwise disjoint, word slots
+    8-aligned, the frame tall enough to hold them, and no declared
+    variable ever dropped from the layout."""
+    source, names = program
+    module = compile_source(source, "prop-frames")
+    function = module.functions["work"]
+    for defense in sorted(defense_names()):
+        layouts = reach.defense_layouts(
+            function, defense, samples=6, seed=seed, module=module
+        )
+        assert layouts, f"{defense}: empty layout family"
+        for layout in layouts:
+            named = {slot.name for slot in layout.named_slots()}
+            assert set(names) <= named, f"{defense}: missing {set(names) - named}"
+            assert all(slot.hi <= 0 for slot in layout.slots), (
+                f"{defense}: slot above the frame top"
+            )
+            spans = sorted((slot.lo, slot.hi) for slot in layout.slots)
+            for (_, hi_a), (lo_b, _) in zip(spans, spans[1:]):
+                assert hi_a <= lo_b, f"{defense}: overlapping slots {spans}"
+            for slot in layout.named_slots():
+                if slot.size == 8:
+                    assert slot.lo % 8 == 0, (
+                        f"{defense}: word slot {slot.name} misaligned at "
+                        f"{slot.lo}"
+                    )
+            assert reach.frame_height(layout) >= sum(
+                slot.size for slot in layout.named_slots()
+            ), f"{defense}: frame shorter than its slots"
