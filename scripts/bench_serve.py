@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Soak the serve front door and gate its contracts (BENCH_serve.json).
+
+Repurposes the benchsuite's io-category workloads (proftpd's command
+loop, wireshark's capture parser) as the request corpus: a deck of
+distinct payloads — compile at two opt levels, analyze, per-tenant
+harden, trace — cycled by concurrent asyncio clients until the request
+budget is spent.  Repeats dominate, exactly like a real hardening
+service fed the same programs by many tenants, which is what exercises
+the content-hash cache.
+
+Measures p50/p90/p99 latency, cache hit rate, rejection/retry counts,
+and verifies three contracts, any failure of which exits non-zero:
+
+* zero protocol errors (every response is an ``ok`` envelope or an
+  ``overloaded`` rejection that succeeds on retry);
+* zero cache mismatches (every repeat of a payload returns the
+  bit-identical canonical result of its first answer);
+* metrics consistency: the ``serve_worker_jobs_total`` counters merged
+  across the process boundary equal the parent's own count of
+  completed worker jobs, and the hit rate clears its floor.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.benchsuite.programs import get_workload  # noqa: E402
+from repro.serve.server import ServeConfig, ServerThread  # noqa: E402
+
+TENANTS = ("proftpd-ops", "wireshark-lab", "shared-ci")
+
+
+def build_deck():
+    """The distinct payloads the soak cycles through."""
+    deck = []
+    for name in ("proftpd", "wireshark"):
+        workload = get_workload(name)
+        source = workload.source
+        inputs = [chunk.decode("latin-1") for chunk in workload.inputs]
+        for opt in (0, 1):
+            deck.append({"op": "compile", "source": source, "opt": opt})
+        deck.append({"op": "analyze", "source": source, "inputs": inputs})
+        for tenant in TENANTS:
+            deck.append(
+                {
+                    "op": "harden",
+                    "source": source,
+                    "tenant": tenant,
+                    "inputs": inputs,
+                }
+            )
+        deck.append(
+            {
+                "op": "trace",
+                "source": source,
+                "inputs": inputs,
+                "writes": "crossing",
+            }
+        )
+    return deck
+
+
+class SoakStats:
+    def __init__(self):
+        self.latencies = []
+        self.ok = 0
+        self.cached = 0
+        self.rejected = 0
+        self.protocol_errors = []
+        self.cache_mismatches = 0
+        self.first_answers = {}
+
+    def record(self, payload_index, envelope, elapsed):
+        self.latencies.append(elapsed)
+        if not envelope.get("ok", False):
+            self.protocol_errors.append(envelope.get("error"))
+            return
+        self.ok += 1
+        if envelope.get("cached"):
+            self.cached += 1
+        canonical = json.dumps(envelope["result"], sort_keys=True)
+        seen = self.first_answers.get(payload_index)
+        if seen is None:
+            self.first_answers[payload_index] = canonical
+        elif seen != canonical:
+            self.cache_mismatches += 1
+
+
+async def run_client(host, port, jobs, stats):
+    """One connection draining ``jobs`` (an async iterator of payloads)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    request_id = 0
+    try:
+        async for payload_index, payload in jobs:
+            request_id += 1
+            line = json.dumps(
+                dict(payload, id=f"r{request_id}")
+            ).encode() + b"\n"
+            started = time.perf_counter()
+            while True:
+                writer.write(line)
+                await writer.drain()
+                envelope = json.loads(await reader.readline())
+                if envelope.get("stream"):
+                    # drain the event lines through the done footer
+                    while True:
+                        event = json.loads(await reader.readline())
+                        if isinstance(event, dict) and event.get("done"):
+                            break
+                error = envelope.get("error") or {}
+                if error.get("code") == "overloaded":
+                    stats.rejected += 1
+                    await asyncio.sleep(error.get("retry_after", 0.05))
+                    continue
+                break
+            stats.record(
+                payload_index, envelope, time.perf_counter() - started
+            )
+    finally:
+        writer.close()
+
+
+async def soak(host, port, deck, total_requests, concurrency):
+    stats = SoakStats()
+    queue = asyncio.Queue()
+    for i in range(total_requests):
+        index = i % len(deck)
+        queue.put_nowait((index, deck[index]))
+
+    async def jobs():
+        while True:
+            try:
+                yield queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+
+    await asyncio.gather(
+        *(run_client(host, port, jobs(), stats) for _ in range(concurrency))
+    )
+    return stats
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced budget for CI (240 requests)")
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    total = 240 if args.smoke else args.requests
+
+    deck = build_deck()
+    config = ServeConfig(
+        workers=args.workers, max_inflight=6, request_timeout=120.0
+    )
+    started = time.time()
+    with ServerThread(config) as thread:
+        host, port = thread.address
+        stats = asyncio.run(
+            soak(host, port, deck, total, args.concurrency)
+        )
+        # post-soak consistency: worker-side counters vs parent-side count
+        from repro.serve.client import connect
+
+        with connect(host, port) as client:
+            metrics = client.metrics()["snapshot"]
+            server_stats = client.stats()
+    wall = time.time() - started
+
+    worker_jobs_merged = sum(
+        value
+        for name, value in metrics["counters"].items()
+        if name.startswith("serve_worker_jobs_total")
+    )
+    latencies = sorted(stats.latencies)
+    hit_rate = stats.cached / stats.ok if stats.ok else 0.0
+    hit_floor = 0.0 if args.smoke else 0.5
+    gates = {
+        "completed": stats.ok >= total,
+        "zero_protocol_errors": len(stats.protocol_errors) == 0,
+        "zero_cache_mismatches": stats.cache_mismatches == 0,
+        "hit_rate_above_floor": hit_rate > hit_floor,
+        "metrics_match_completed_jobs": (
+            worker_jobs_merged == server_stats["worker_jobs_completed"]
+        ),
+    }
+    report = {
+        "requests": total,
+        "concurrency": args.concurrency,
+        "workers": args.workers,
+        "deck_size": len(deck),
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(stats.ok / wall, 1) if wall else None,
+        "ok": stats.ok,
+        "cached": stats.cached,
+        "cache_hit_rate": round(hit_rate, 4),
+        "rejections_retried": stats.rejected,
+        "protocol_errors": stats.protocol_errors[:10],
+        "cache_mismatches": stats.cache_mismatches,
+        "latency_seconds": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else None,
+        },
+        "worker_jobs_merged": worker_jobs_merged,
+        "worker_jobs_completed": server_stats["worker_jobs_completed"],
+        "server_rejections": server_stats["rejections_total"],
+        "gates": gates,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"serve soak: {stats.ok}/{total} ok in {wall:.1f}s "
+          f"({report['throughput_rps']} req/s), "
+          f"hit rate {hit_rate:.1%}, "
+          f"{stats.rejected} rejections retried")
+    lat = report["latency_seconds"]
+    print(f"latency p50 {lat['p50']*1000:.1f}ms  "
+          f"p90 {lat['p90']*1000:.1f}ms  p99 {lat['p99']*1000:.1f}ms")
+    failed = [name for name, passed in gates.items() if not passed]
+    if failed:
+        print(f"GATE FAILURES: {', '.join(failed)}")
+        return 1
+    print("all gates passed; report written to", args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -281,9 +281,16 @@ def analyze_program(
     exploit: bool = False,
     exploit_goal: Optional[str] = None,
     exploit_defenses: Optional[Sequence[str]] = None,
+    module=None,
 ) -> ProgramReport:
-    """Compile ``source`` and run the full analyzer over it."""
-    module = compile_source(source, opt_level=opt_level)
+    """Compile ``source`` and run the full analyzer over it.
+
+    ``module`` lets a caller that already compiled the source (the serve
+    worker's per-process module cache) skip the front end; analysis
+    never mutates the module, so a cached one is safe to share.
+    """
+    if module is None:
+        module = compile_source(source, opt_level=opt_level)
     report = ProgramReport(name, module)
     counters = {"G": 0, "R": 0, "L": 0, "X": 0, "S": 0, "E": 0}
     param_map = attacker_param_indices(module)

@@ -259,6 +259,20 @@ class SuiteResults:
         }
 
 
+def _measure_workload_pooled(name: str, kwargs: dict):
+    """Pool-worker wrapper: ship this job's metrics delta home.
+
+    Pipeline phase timings and compile/harden counters recorded inside a
+    worker live in that process's registry; the parent merges the
+    returned delta so jobs=1 and jobs=N suites report identical totals.
+    """
+    from repro.obs.metrics import worker_job_metrics
+
+    registry = worker_job_metrics()
+    measurement = measure_workload(name, **kwargs)
+    return measurement, registry.dump()
+
+
 def measure_suite(
     workload_names: Optional[Iterable[str]] = None,
     schemes: Sequence[str] = SCHEME_NAMES,
@@ -287,12 +301,18 @@ def measure_suite(
         jit=jit,
     )
     if jobs > 1 and len(names) > 1:
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(measure_workload, name, **kwargs) for name in names
+                pool.submit(_measure_workload_pooled, name, kwargs)
+                for name in names
             ]
             for future in futures:  # in input order, for determinism
-                results.add(future.result())
+                measurement, delta = future.result()
+                registry.merge(delta)
+                results.add(measurement)
     else:
         for name in names:
             results.add(measure_workload(name, **kwargs))

@@ -428,6 +428,36 @@ def cmd_profile(args) -> int:
     return 0 if result.finished_cleanly() else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        cache_entries=args.cache_entries,
+        tenant_salt=args.tenant_salt,
+    )
+    server = ReproServer(config)
+
+    async def run() -> None:
+        await server.start()
+        host, port = server.address
+        print(f"repro serve listening on {host}:{port} "
+              f"({config.workers} workers, cache {config.cache_entries})")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -623,6 +653,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=0,
                    help="show only the N most expensive opcodes")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="hardening-as-a-service front door (line-delimited JSON/TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7814,
+                   help="TCP port (0 = ephemeral; default 7814)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="jobs in flight before overload rejection")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--cache-entries", type=int, default=512,
+                   help="result cache capacity")
+    p.add_argument("--tenant-salt", default="smokestack-serve",
+                   help="salt for per-tenant permutation seeds")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -23,7 +23,7 @@ from repro.fuzz.oracles import (
     check_program,
 )
 from repro.fuzz.reduce import make_oracle_predicate, reduce_program
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, worker_job_metrics
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,20 @@ def _check_seed(payload: tuple) -> dict:
     }
 
 
+def _check_seed_pooled(payload: tuple) -> dict:
+    """Pool-worker wrapper: ship this job's metrics delta home.
+
+    The metrics registry is process-global, so anything the oracles
+    increment inside a worker (pipeline compiles, JIT deopts, ...) would
+    be silently dropped; the parent merges the returned delta so jobs=1
+    and jobs=N report identical totals.
+    """
+    registry = worker_job_metrics()
+    result = _check_seed(payload)
+    result["metrics"] = registry.dump()
+    return result
+
+
 def run_campaign(config: CampaignConfig) -> CampaignSummary:
     summary = CampaignSummary(config=config)
     started = time.perf_counter()
@@ -137,7 +151,10 @@ def run_campaign(config: CampaignConfig) -> CampaignSummary:
     ]
     if config.jobs > 1:
         with ProcessPoolExecutor(max_workers=config.jobs) as pool:
-            results = list(pool.map(_check_seed, payloads, chunksize=8))
+            results = list(pool.map(_check_seed_pooled, payloads, chunksize=8))
+        registry = get_registry()
+        for result in results:
+            registry.merge(result.pop("metrics"))
     else:
         results = [_check_seed(payload) for payload in payloads]
 

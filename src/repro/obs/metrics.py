@@ -174,6 +174,63 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    # -- cross-process aggregation ---------------------------------------------------
+    #
+    # The registry is process-global, so counters incremented inside a
+    # ``ProcessPoolExecutor`` worker land in *that worker's* registry and
+    # would otherwise be dropped on the floor.  Pool call sites therefore
+    # ship a structured ``dump()`` back with each job result and the
+    # parent folds it in with ``merge()``.  Workers reset their registry
+    # at job start (see ``worker_job_metrics``) so each dump is exactly
+    # one job's delta — merging in collection order keeps jobs=1 and
+    # jobs=N totals identical.
+
+    def dump(self) -> dict:
+        """Structured, picklable copy of every series (for ``merge``).
+
+        Unlike :meth:`snapshot`, labels stay structured rather than being
+        flattened into display strings, so a parent process can replay
+        them without parsing.
+        """
+        return {
+            "counters": [
+                [name, list(labels), series.value]
+                for (name, labels), series in self._counters.items()
+            ],
+            "gauges": [
+                [name, list(labels), series.value]
+                for (name, labels), series in self._gauges.items()
+            ],
+            "histograms": [
+                [
+                    name,
+                    list(labels),
+                    [series.count, series.total, series.min, series.max],
+                ]
+                for (name, labels), series in self._histograms.items()
+            ],
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold a worker's :meth:`dump` into this registry.
+
+        Counters add, histograms combine (count/sum/min/max), gauges are
+        last-write-wins — pool results are collected in submission order,
+        so the outcome is deterministic.
+        """
+        for name, labels, value in delta.get("counters", ()):
+            self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in delta.get("gauges", ()):
+            self.gauge(name, **dict(labels)).set(value)
+        for name, labels, (count, total, lo, hi) in delta.get("histograms", ()):
+            series = self.histogram(name, **dict(labels))
+            series.count += count
+            series.total += total
+            if lo is not None:
+                series.min = lo if series.min is None else min(series.min, lo)
+            if hi is not None:
+                series.max = hi if series.max is None else max(series.max, hi)
+
 
 #: Process-wide default registry.  Call sites use ``get_registry()`` so
 #: tests can assert on (and reset) a single well-known instance.
@@ -182,3 +239,18 @@ _DEFAULT = MetricsRegistry()
 
 def get_registry() -> MetricsRegistry:
     return _DEFAULT
+
+
+def worker_job_metrics() -> MetricsRegistry:
+    """Prepare the worker-process registry to record one pool job.
+
+    A forked worker starts with a copy of the parent's pre-fork series,
+    and a persistent worker still holds its previous jobs' (already
+    shipped home with those results) — both would double-count if left
+    in place.  Resetting at job start makes the registry hold exactly
+    this job's delta, which the worker returns via ``registry.dump()``
+    alongside its result for the parent to ``merge()``.
+    """
+    registry = get_registry()
+    registry.reset()
+    return registry

@@ -1,0 +1,44 @@
+"""``repro serve`` — the hardening-as-a-service front door.
+
+An asyncio request layer (line-delimited JSON over TCP) in front of a
+persistent worker pool, with content-hash result caching, per-tenant
+permutation seeds, streaming trace output, explicit back-pressure and
+a live metrics endpoint.  See DESIGN.md §Serving architecture.
+"""
+
+from repro.serve.cache import CachedResponse, ResultCache
+from repro.serve.client import ServeClient, ServeError, connect
+from repro.serve.protocol import (
+    JOB_OPS,
+    LOCAL_OPS,
+    OPS,
+    ProtocolError,
+    cache_key,
+    source_digest,
+    tenant_seed,
+)
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerStats,
+    ServerThread,
+)
+
+__all__ = [
+    "CachedResponse",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "connect",
+    "JOB_OPS",
+    "LOCAL_OPS",
+    "OPS",
+    "ProtocolError",
+    "cache_key",
+    "source_digest",
+    "tenant_seed",
+    "ReproServer",
+    "ServeConfig",
+    "ServerStats",
+    "ServerThread",
+]

@@ -1,0 +1,72 @@
+"""Content-hash result cache for the serve front door.
+
+The cache stores the *serialized* result payload (and, for streaming
+ops, the exact event lines), not the live objects: a hit must return
+bytes bit-identical to what the cold path sent, which is also what the
+protocol tests pin.  Entries are keyed by :func:`repro.serve.protocol.
+cache_key` — source digest + every result-relevant parameter — so the
+key can only be right if the job dict is, and repeat submissions of the
+same source skip compile/analyze entirely.
+
+Eviction is LRU with a fixed entry budget; hit/miss counts feed both
+the ``stats`` op and the ``serve_cache_*_total`` metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class CachedResponse:
+    """One completed job's replayable output."""
+
+    __slots__ = ("result_json", "events")
+
+    def __init__(self, result_json: str, events: Optional[Tuple[str, ...]]):
+        #: the canonical JSON serialization of the ``result`` payload
+        self.result_json = result_json
+        #: raw JSONL event lines for streaming ops (``None`` for unary)
+        self.events = events
+
+
+class ResultCache:
+    """LRU map of cache key -> :class:`CachedResponse`."""
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedResponse]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Optional[str]) -> Optional[CachedResponse]:
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Optional[str], entry: CachedResponse) -> None:
+        if key is None:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,134 @@
+"""Synchronous client for the ``repro serve`` protocol.
+
+A thin blocking wrapper over one TCP connection — intended for tests,
+the bench load generator, and ad-hoc CLI poking.  It speaks exactly the
+wire protocol in :mod:`repro.serve.protocol`: one JSON line out, one
+envelope line back, plus raw JSONL event lines for streaming ops.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, List, Optional, Tuple
+
+
+class ServeError(Exception):
+    """A protocol-level error response (``ok: false``)."""
+
+    def __init__(self, error: dict):
+        super().__init__(f"{error.get('code')}: {error.get('message')}")
+        self.code = error.get("code")
+        self.message = error.get("message")
+        self.retry_after = error.get("retry_after")
+
+
+class ServeClient:
+    """One connection to a running serve front door."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self.sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw layer ------------------------------------------------------------------
+
+    def send_raw(self, payload: bytes) -> None:
+        """Ship arbitrary bytes (protocol-edge tests: malformed JSON,
+        oversized lines...).  Caller appends the newline if wanted."""
+        self._file.write(payload)
+        self._file.flush()
+
+    def read_line(self) -> bytes:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line.rstrip(b"\r\n")
+
+    def read_envelope(self) -> dict:
+        return json.loads(self.read_line().decode("utf-8"))
+
+    # -- request layer --------------------------------------------------------------
+
+    def request_raw(self, obj: dict) -> dict:
+        """Send one request object, return the (first) response envelope.
+
+        Raises nothing on ``ok: false`` — callers that want the error as
+        data (back-pressure handling) use this; :meth:`request` raises.
+        """
+        if "id" not in obj:
+            self._next_id += 1
+            obj = dict(obj, id=f"c{self._next_id}")
+        self.send_raw(json.dumps(obj).encode("utf-8") + b"\n")
+        return self.read_envelope()
+
+    def request(self, op: str, **fields) -> dict:
+        """One unary request; returns the envelope, raises on error."""
+        envelope = self.request_raw({"op": op, **fields})
+        if not envelope.get("ok", False):
+            raise ServeError(envelope.get("error", {}))
+        return envelope
+
+    def stream(self, op: str, **fields) -> Tuple[dict, Iterator[dict]]:
+        """One streaming request: ``(header_envelope, event_iterator)``.
+
+        The iterator must be fully consumed (or the connection closed)
+        before the next request on this client.
+        """
+        envelope = self.request_raw({"op": op, **fields})
+        if not envelope.get("ok", False):
+            raise ServeError(envelope.get("error", {}))
+        if not envelope.get("stream"):
+            return envelope, iter(())
+
+        def events() -> Iterator[dict]:
+            while True:
+                obj = self.read_envelope()
+                if isinstance(obj, dict) and obj.get("done"):
+                    return
+                yield obj
+
+        return envelope, events()
+
+    def stream_all(self, op: str, **fields) -> Tuple[dict, List[dict]]:
+        header, events = self.stream(op, **fields)
+        return header, list(events)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping")["result"].get("pong"))
+
+    def metrics(self) -> dict:
+        return self.request("metrics")["result"]
+
+    def stats(self) -> dict:
+        return self.request("stats")["result"]
+
+
+def connect(
+    host: str, port: int, timeout: float = 300.0, retries: int = 20
+) -> ServeClient:
+    """Connect with retry — the server thread may still be binding."""
+    import time
+
+    last: Optional[Exception] = None
+    for _ in range(retries):
+        try:
+            return ServeClient(host, port, timeout=timeout)
+        except OSError as exc:
+            last = exc
+            time.sleep(0.05)
+    raise ConnectionError(f"cannot reach serve at {host}:{port}: {last}")

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.safety import PROVEN_SAFE
 from repro.attacks.harness import ATTACK_MAX_STEPS, run_campaign
 from repro.defenses.registry import defense_names, make_defense
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, worker_job_metrics
 from repro.synth.facts import ProgramFacts
 from repro.synth.goals import parse_goal
 from repro.synth.planner import AttackPlan, synthesize
@@ -257,6 +257,19 @@ def _run_victim_job(job: dict) -> VictimResult:
         max_steps=job["max_steps"],
         exploit_check=job.get("exploit_check", True),
     )
+
+
+def _run_victim_job_pooled(job: dict) -> Tuple[VictimResult, dict]:
+    """Pool-worker wrapper: ship this job's metrics delta home.
+
+    Counters incremented while planning/attacking inside a worker
+    (pipeline compiles, exploit-prover series, JIT deopts) live in the
+    worker's process-global registry; the parent merges the returned
+    delta so jobs=1 and jobs=N campaigns report identical totals.
+    """
+    registry = worker_job_metrics()
+    result = _run_victim_job(job)
+    return result, registry.dump()
 
 
 # --------------------------------------------------------------------------
@@ -540,8 +553,13 @@ def run_synth_campaign(
     ]
     summary = SynthSummary(config=config)
     if config.jobs > 1 and len(jobs) > 1:
+        registry = get_registry()
         with ProcessPoolExecutor(max_workers=config.jobs) as pool:
-            summary.results = list(pool.map(_run_victim_job, jobs, chunksize=4))
+            for result, delta in pool.map(
+                _run_victim_job_pooled, jobs, chunksize=4
+            ):
+                registry.merge(delta)
+                summary.results.append(result)
     else:
         summary.results = [_run_victim_job(job) for job in jobs]
     for case, result in zip(cases, summary.results):

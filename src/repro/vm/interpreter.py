@@ -47,7 +47,13 @@ from repro.minic import types as ct
 from repro.vm.costs import CostModel
 from repro.vm.decode import Decoder, FellOffBlock
 from repro.vm.floatmath import float_to_int_operand, round_f32
-from repro.vm.jit import JIT_RECURSION_LIMIT, JitEngine, record_deopt
+from repro.vm.jit import (
+    JitEngine,
+    cache_lock,
+    enter_jit_recursion,
+    exit_jit_recursion,
+    record_deopt,
+)
 from repro.vm.memory import STACK_TOP, Memory
 from repro.vm.process import ProcessImage, install_missing_globals, load
 
@@ -348,22 +354,29 @@ class Machine:
         the version token does.  Mirrors the PR 2 ``Alloca.count``
         stale-cache fix, one level up.
         """
-        version = getattr(self.module, "version", 0)
-        if version == self._module_version:
+        if getattr(self.module, "version", 0) == self._module_version:
             return
-        self._module_version = version
-        self._static_allocas.clear()
-        if self._decoder is not None:
-            self._decoder = Decoder(self)
-        # Compiled JIT bodies bind the old version's step lists and cost
-        # totals; drop the engine so the next run rebinds against the
-        # (shared, version-keyed) code cache.
-        self._jit_engine = None
-        # The transform may have added globals (P-BOX tables, PRNG state)
-        # the image has never mapped.
-        install_missing_globals(self.image)
-        if "smokestack" in self.module.metadata:
-            self.cost.variant = "ss"
+        # Re-check and refresh under the JIT cache lock: a transform (or
+        # clear_code_cache) on another thread racing this sync must not
+        # let a half-invalidated machine bind compiled bodies for a
+        # version it no longer runs.
+        with cache_lock():
+            version = getattr(self.module, "version", 0)
+            if version == self._module_version:
+                return
+            self._module_version = version
+            self._static_allocas.clear()
+            if self._decoder is not None:
+                self._decoder = Decoder(self)
+            # Compiled JIT bodies bind the old version's step lists and
+            # cost totals; drop the engine so the next run rebinds
+            # against the (shared, version-keyed) code cache.
+            self._jit_engine = None
+            # The transform may have added globals (P-BOX tables, PRNG
+            # state) the image has never mapped.
+            install_missing_globals(self.image)
+            if "smokestack" in self.module.metadata:
+                self.cost.variant = "ss"
 
     # -- public API -----------------------------------------------------------------
 
@@ -702,15 +715,15 @@ class Machine:
         engine = self._jit_engine
         if engine is None:
             engine = self._jit_engine = JitEngine(self)
-        old_limit = sys.getrecursionlimit()
-        bumped = old_limit < JIT_RECURSION_LIMIT
-        if bumped:
-            sys.setrecursionlimit(JIT_RECURSION_LIMIT)
+        # The limit is process-global: the reentrancy-counted guard (see
+        # repro.vm.jit) restores the saved value only when the outermost
+        # jitted run exits, on every exit path — exceptions, deopt,
+        # traps — so nested or interleaved Machines cannot clobber it.
+        enter_jit_recursion()
         try:
             return engine.execute()
         finally:
-            if bumped:
-                sys.setrecursionlimit(old_limit)
+            exit_jit_recursion()
 
     # -- value plumbing -------------------------------------------------------------------
 

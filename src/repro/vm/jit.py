@@ -56,6 +56,8 @@ module share one compile.
 
 from __future__ import annotations
 
+import sys
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 from weakref import WeakKeyDictionary
@@ -78,6 +80,58 @@ _U64 = (1 << 64) - 1
 JIT_RECURSION_LIMIT = 15_000
 
 _MISSING = object()
+
+
+# -- the process-wide recursion-limit guard -----------------------------------------
+#
+# ``sys.setrecursionlimit`` is interpreter-global, so a per-machine
+# save/restore leaks state as soon as machines nest (a builtin hook that
+# runs another jitted Machine) or interleave across threads: the first
+# exit would restore the original limit out from under the still-running
+# run.  A single depth counter fixes both — the limit is bumped when the
+# first jitted run enters and restored (to the exact saved value) only
+# when the last one leaves, on every exit path via try/finally in
+# ``Machine._execute_loop_jit``.
+
+_RECURSION_GUARD_LOCK = threading.Lock()
+_recursion_depth = 0
+_saved_recursion_limit: Optional[int] = None
+_recursion_limit_bumped = False
+
+
+def enter_jit_recursion() -> None:
+    """Raise the host recursion limit for a jitted run (reentrant)."""
+    global _recursion_depth, _saved_recursion_limit, _recursion_limit_bumped
+    with _RECURSION_GUARD_LOCK:
+        _recursion_depth += 1
+        if _recursion_depth == 1:
+            _saved_recursion_limit = sys.getrecursionlimit()
+            _recursion_limit_bumped = (
+                _saved_recursion_limit < JIT_RECURSION_LIMIT
+            )
+            if _recursion_limit_bumped:
+                sys.setrecursionlimit(JIT_RECURSION_LIMIT)
+
+
+def exit_jit_recursion() -> None:
+    """Undo one :func:`enter_jit_recursion`; restores the saved limit
+    only when the outermost jitted run exits."""
+    global _recursion_depth, _saved_recursion_limit, _recursion_limit_bumped
+    with _RECURSION_GUARD_LOCK:
+        if _recursion_depth <= 0:
+            raise RuntimeError("exit_jit_recursion without matching enter")
+        _recursion_depth -= 1
+        if _recursion_depth == 0:
+            if _recursion_limit_bumped:
+                sys.setrecursionlimit(_saved_recursion_limit)
+            _saved_recursion_limit = None
+            _recursion_limit_bumped = False
+
+
+def jit_recursion_depth() -> int:
+    """How many jitted runs are currently active (test/diagnostic hook)."""
+    with _RECURSION_GUARD_LOCK:
+        return _recursion_depth
 
 
 def _registry():
@@ -185,11 +239,25 @@ class _ModuleCache:
 
 _CODE_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
 
+#: Serializes every read/write of ``_CODE_CACHE`` (and the machine-side
+#: version re-check, see ``Machine._sync_module_version``): without it a
+#: ``clear_code_cache()`` racing a compile on another thread could
+#: publish an entry for a module version that is no longer current.
+#: Reentrant because ``_sync_module_version`` holds it around work that
+#: may itself consult the cache.
+_CACHE_LOCK = threading.RLock()
+
+
+def cache_lock() -> threading.RLock:
+    """The code-cache lock (shared with ``Machine._sync_module_version``)."""
+    return _CACHE_LOCK
+
 
 def clear_code_cache() -> None:
     """Drop every cached compile (benchmarks use this to measure cold
     compile-time amortization)."""
-    _CODE_CACHE.clear()
+    with _CACHE_LOCK:
+        _CODE_CACHE.clear()
 
 
 def _cost_signature(cost) -> tuple:
@@ -204,28 +272,42 @@ def compiled_for(machine, function):
     :class:`_Unsupported` verdict)."""
     module = machine.module
     version = getattr(module, "version", 0)
-    cache = _CODE_CACHE.get(module)
-    if cache is None or cache.version != version:
-        cache = _ModuleCache(version)
-        _CODE_CACHE[module] = cache
     key = (function.name,) + _cost_signature(machine.cost)
-    entry = cache.entries.get(key)
-    if entry is None:
-        start = time.perf_counter()
-        try:
-            entry = _FunctionCompiler(machine, function).compile()
-        except _CompileUnsupported as skip:
-            entry = _Unsupported(skip.reason)
-        except Exception:  # noqa: BLE001 - a codegen bug must never
-            entry = _Unsupported("compile-error")  # change guest behavior
-        elapsed = time.perf_counter() - start
-        if isinstance(entry, _CompiledFunction):
-            registry = _registry()
-            registry.counter("jit_functions_compiled_total").inc()
-            registry.counter("jit_blocks_fused_total").inc(entry.block_count)
-            registry.histogram("jit_compile_seconds").observe(elapsed)
-        cache.entries[key] = entry
-    return entry
+    with _CACHE_LOCK:
+        cache = _CODE_CACHE.get(module)
+        if cache is not None and cache.version == version:
+            entry = cache.entries.get(key)
+            if entry is not None:
+                return entry
+    # Compile outside the lock: codegen touches no shared state, and a
+    # slow compile must not stall every other thread's cache hits.
+    start = time.perf_counter()
+    try:
+        entry = _FunctionCompiler(machine, function).compile()
+    except _CompileUnsupported as skip:
+        entry = _Unsupported(skip.reason)
+    except Exception:  # noqa: BLE001 - a codegen bug must never
+        entry = _Unsupported("compile-error")  # change guest behavior
+    elapsed = time.perf_counter() - start
+    if isinstance(entry, _CompiledFunction):
+        registry = _registry()
+        registry.counter("jit_functions_compiled_total").inc()
+        registry.counter("jit_blocks_fused_total").inc(entry.block_count)
+        registry.histogram("jit_compile_seconds").observe(elapsed)
+    with _CACHE_LOCK:
+        if getattr(module, "version", 0) != version:
+            # The module was transformed in place while we compiled: the
+            # entry is correct for *this* caller (whose machine still
+            # holds the old decode) but must never be published, or a
+            # future machine would run stale code.
+            return entry
+        cache = _CODE_CACHE.get(module)
+        if cache is None or cache.version != version:
+            cache = _ModuleCache(version)
+            _CODE_CACHE[module] = cache
+        # setdefault: if another thread won the compile race, everyone
+        # converges on the first published entry.
+        return cache.entries.setdefault(key, entry)
 
 
 # -- source generation ---------------------------------------------------------------

@@ -326,3 +326,150 @@ class TestEngineSelection:
         jit = run_baseline(workload, jit=True)
         fast = run_baseline(workload)
         assert jit == fast
+
+
+class TestProcessGlobalState:
+    """The JIT's two pieces of process-global state — the host recursion
+    limit and the shared code cache — must survive traps, nesting, and
+    concurrent use (the serve worker model runs many machines per
+    process)."""
+
+    TRAP_MID_RECURSION = (
+        "int f(int n) { if (n >= 100) { int d; d = 0; return 7 / d; }"
+        " return f(n + 1); }"
+        " int main() { return f(0); }"
+    )
+
+    def test_limit_identical_after_trap_mid_recursion(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        result = Machine(
+            compile_source(self.TRAP_MID_RECURSION), jit=True
+        ).run()
+        assert result.outcome == "trap"
+        assert sys.getrecursionlimit() == before
+
+    def test_limit_identical_after_fault_and_step_limit(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        Machine(
+            compile_source(
+                "int main() { int b[2]; b[700000] = 9; return 0; }"
+            ),
+            jit=True,
+        ).run()
+        assert sys.getrecursionlimit() == before
+        Machine(
+            compile_source(self.TRAP_MID_RECURSION), jit=True, max_steps=37
+        ).run()
+        assert sys.getrecursionlimit() == before
+
+    def test_reentrancy_counter_restores_only_at_depth_zero(self):
+        import sys
+
+        from repro.vm.jit import (
+            JIT_RECURSION_LIMIT,
+            enter_jit_recursion,
+            exit_jit_recursion,
+            jit_recursion_depth,
+        )
+
+        assert jit_recursion_depth() == 0
+        before = sys.getrecursionlimit()
+        assert before < JIT_RECURSION_LIMIT
+        enter_jit_recursion()
+        try:
+            assert sys.getrecursionlimit() == JIT_RECURSION_LIMIT
+            enter_jit_recursion()
+            try:
+                assert jit_recursion_depth() == 2
+            finally:
+                exit_jit_recursion()
+            # An inner exit (this was the clobber) must NOT restore while
+            # an outer jitted run is still active.
+            assert sys.getrecursionlimit() == JIT_RECURSION_LIMIT
+        finally:
+            exit_jit_recursion()
+        assert sys.getrecursionlimit() == before
+        assert jit_recursion_depth() == 0
+
+    def test_unmatched_exit_raises(self):
+        from repro.vm.jit import exit_jit_recursion
+
+        with pytest.raises(RuntimeError):
+            exit_jit_recursion()
+
+    def test_nested_machine_via_input_hook(self):
+        import sys
+
+        from repro.vm.jit import JIT_RECURSION_LIMIT
+
+        inner_module = compile_source(
+            "int f(int n) { if (n <= 0) { return 0; }"
+            " return 1 + f(n - 1); }"
+            " int main() { return f(200) - 200; }"
+        )
+        seen = {}
+
+        def hook(machine):
+            inner = Machine(inner_module, jit=True).run()
+            seen["inner_outcome"] = inner.outcome
+            # After the nested jitted run exits, the limit must still be
+            # raised for the outer run that is mid-flight.
+            seen["limit_during_outer"] = sys.getrecursionlimit()
+            return b"x"
+
+        before = sys.getrecursionlimit()
+        outer = Machine(
+            compile_source(
+                "int main() { char b[8]; input_read(b, 8); return 0; }"
+            ),
+            input_hook=hook,
+            jit=True,
+        ).run()
+        assert outer.outcome == "exit"
+        assert seen["inner_outcome"] == "exit"
+        assert seen["limit_during_outer"] == JIT_RECURSION_LIMIT
+        assert sys.getrecursionlimit() == before
+
+    def test_concurrent_compile_and_clear_stress(self):
+        import threading
+
+        from repro.vm.jit import clear_code_cache
+
+        module = compile_source(
+            "int add(int a, int b) { return a + b; }"
+            " int main() { int s = 0;"
+            " for (int i = 0; i < 30; i = i + 1) { s = add(s, i); }"
+            " print_int(s); return s - 435; }"
+        )
+        reference = Machine(module, jit=True).run()
+        errors = []
+        stop = threading.Event()
+
+        def hammer_runs():
+            try:
+                for _ in range(8):
+                    result = Machine(module, jit=True).run()
+                    assert_identical(result, reference, "threaded run")
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def hammer_clears():
+            while not stop.is_set():
+                clear_code_cache()
+
+        runners = [threading.Thread(target=hammer_runs) for _ in range(8)]
+        clearer = threading.Thread(target=hammer_clears)
+        clearer.start()
+        for thread in runners:
+            thread.start()
+        for thread in runners:
+            thread.join()
+        stop.set()
+        clearer.join()
+        assert not errors, errors

@@ -98,6 +98,103 @@ class TestMetricsRegistry:
         assert len(lines) == 3
 
 
+class TestMetricsMerge:
+    """The snapshot/merge protocol that ships worker-process deltas home."""
+
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", outcome="ok").inc(3)
+        registry.counter("jobs_total", outcome="fail").inc()
+        registry.gauge("rate").set(7.5)
+        for value in (1.0, 4.0):
+            registry.histogram("phase_seconds", phase="x").observe(value)
+        return registry
+
+    def test_dump_is_plain_data(self):
+        import pickle
+
+        dump = self._populated().dump()
+        assert pickle.loads(pickle.dumps(dump)) == dump
+
+    def test_merge_into_empty_equals_source(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge(source.dump())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_adds_counters_and_combines_histograms(self):
+        target = self._populated()
+        target.merge(self._populated().dump())
+        snap = target.snapshot()
+        assert snap["counters"]["jobs_total{outcome=ok}"] == 6
+        assert snap["counters"]["jobs_total{outcome=fail}"] == 2
+        stats = snap["histograms"]["phase_seconds{phase=x}"]
+        assert stats["count"] == 4
+        assert stats["sum"] == 10.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_merge_histogram_into_empty_keeps_min_max(self):
+        target = MetricsRegistry()
+        target.merge(self._populated().dump())
+        stats = target.snapshot()["histograms"]["phase_seconds{phase=x}"]
+        assert (stats["min"], stats["max"]) == (1.0, 4.0)
+
+    def test_merge_empty_delta_is_noop(self):
+        target = self._populated()
+        before = target.snapshot()
+        target.merge(MetricsRegistry().dump())
+        assert target.snapshot() == before
+
+    def test_worker_job_metrics_resets_process_registry(self):
+        from repro.obs.metrics import get_registry, worker_job_metrics
+
+        get_registry().counter("stale_total").inc()
+        registry = worker_job_metrics()
+        assert registry is get_registry()
+        assert registry.dump() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+
+class TestPoolMetricsIdentity:
+    """Counters incremented inside pool workers must reach the parent:
+    jobs=1 and jobs=4 campaigns report identical ``*_total`` counters."""
+
+    def _campaign_counters(self, jobs: int) -> dict:
+        from repro.fuzz import CampaignConfig, run_campaign
+        from repro.obs.metrics import get_registry
+        from repro.vm.jit import clear_code_cache
+
+        registry = get_registry()
+        registry.reset()
+        clear_code_cache()
+        summary = run_campaign(
+            CampaignConfig(
+                iterations=6,
+                base_seed=101,
+                jobs=jobs,
+                oracles=("dispatch", "jit"),
+                corpus_dir=None,
+                reduce_findings=False,
+            )
+        )
+        assert summary.ok
+        return {
+            key: value
+            for key, value in registry.snapshot()["counters"].items()
+            if key.endswith("_total") or "_total{" in key
+        }
+
+    def test_fuzz_campaign_totals_identical_across_jobs(self):
+        serial = self._campaign_counters(jobs=1)
+        parallel = self._campaign_counters(jobs=4)
+        assert serial == parallel
+        # The worker-side JIT counters actually crossed the process
+        # boundary (this is the regression: they used to be dropped).
+        assert serial["jit_functions_compiled_total"] >= 6
+
+
 class TestPipelineMetrics:
     def test_compile_populates_phase_histograms(self):
         from repro.obs.metrics import get_registry

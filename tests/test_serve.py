@@ -1,0 +1,365 @@
+"""The serve front door: protocol, cache, and live-server behavior.
+
+The live-server tests run a real :class:`ServerThread` (asyncio loop on
+a daemon thread, real ``ProcessPoolExecutor`` workers, real TCP) and a
+blocking :class:`ServeClient` — the exact deployment shape, no mocks.
+The load-bearing properties:
+
+* protocol edges fail loudly and never wedge the connection or server
+  (malformed JSON, unknown ops, oversized lines, disconnect mid-stream);
+* a cache hit replays the *bit-identical* result payload;
+* distinct tenants get distinct layouts, the same tenant always gets
+  the same one;
+* deadlines and back-pressure are enforced (timeout error, overloaded
+  rejection with ``retry_after``);
+* worker-side metrics cross the process boundary and land in the
+  parent registry (the metrics bugfix, observed end to end).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.cache import CachedResponse, ResultCache
+from repro.serve.client import ServeError, connect
+from repro.serve.protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ProtocolError,
+    cache_key,
+    source_digest,
+    split_validate,
+    tenant_seed,
+    validate_request,
+)
+from repro.serve.server import ServeConfig, ServerThread
+
+ADD_SRC = (
+    "int add(int a, int b) { return a + b; } "
+    "int main() { return add(40, 2); }"
+)
+
+LOCALS_SRC = """
+int work(int n) {
+  int a; int b; int c; int d; int e; int f;
+  char buf[16];
+  a = n + 1; b = a * 2; c = b - 3; d = c ^ 5; e = d + a; f = e - b;
+  buf[0] = 7;
+  return a + b + c + d + e + f + buf[0];
+}
+int main() { return work(9); }
+"""
+
+VICTIM_SRC = (
+    "int main() { char b[8]; int t; t = 0; "
+    "input_read(b, 16); return t; }"
+)
+
+
+# -- protocol unit tests (no server) -------------------------------------------------
+
+
+class TestProtocol:
+    def test_validate_normalizes_compile(self):
+        job = validate_request({"op": "compile", "source": ADD_SRC})
+        assert job["digest"] == source_digest(ADD_SRC)
+        assert job["opt"] == 0
+        assert job["tenant"] == "public"
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"op": "frobnicate", "source": ADD_SRC})
+        assert err.value.code == "unknown-op"
+
+    def test_debug_ops_gated(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "sleep"})
+        job = validate_request({"op": "sleep", "seconds": 0.5}, debug_ops=True)
+        assert job["seconds"] == 0.5
+
+    def test_rejects_bad_fields(self):
+        for bad in (
+            {"op": "compile"},  # no source
+            {"op": "compile", "source": 7},
+            {"op": "compile", "source": ADD_SRC, "opt": 9},
+            {"op": "compile", "source": ADD_SRC, "inputs": [1]},
+            {"op": "harden", "source": ADD_SRC, "scheme": "xkcd"},
+            {"op": "trace", "source": ADD_SRC, "writes": "some"},
+            {"op": "synth", "source": ADD_SRC},  # no goal
+        ):
+            with pytest.raises(ProtocolError):
+                validate_request(bad)
+
+    def test_split_validate_malformed_json(self):
+        with pytest.raises(ProtocolError) as err:
+            split_validate(b"{nope")
+        assert err.value.code == "bad-request"
+
+    def test_cache_key_shares_compile_across_tenants(self):
+        a = validate_request(
+            {"op": "compile", "source": ADD_SRC, "tenant": "acme"}
+        )
+        b = validate_request(
+            {"op": "compile", "source": ADD_SRC, "tenant": "bravo"}
+        )
+        assert cache_key(a) == cache_key(b)
+
+    def test_cache_key_isolates_harden_by_tenant(self):
+        a = validate_request(
+            {"op": "harden", "source": ADD_SRC, "tenant": "acme"}
+        )
+        b = validate_request(
+            {"op": "harden", "source": ADD_SRC, "tenant": "bravo"}
+        )
+        assert cache_key(a) != cache_key(b)
+
+    def test_cache_key_depends_on_params(self):
+        base = validate_request({"op": "compile", "source": ADD_SRC})
+        opt = validate_request({"op": "compile", "source": ADD_SRC, "opt": 2})
+        assert cache_key(base) != cache_key(opt)
+
+    def test_tenant_seed_stable_and_distinct(self):
+        assert tenant_seed("acme", "s") == tenant_seed("acme", "s")
+        assert tenant_seed("acme", "s") != tenant_seed("bravo", "s")
+        assert tenant_seed("acme", "s") != tenant_seed("acme", "t")
+        assert 0 <= tenant_seed("acme", "s") < (1 << 48)
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, CachedResponse(key, None))
+        assert cache.get("a") is None
+        assert cache.get("c").result_json == "c"
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", CachedResponse("a", None))
+        cache.put("b", CachedResponse("b", None))
+        cache.get("a")
+        cache.put("c", CachedResponse("c", None))
+        assert cache.get("a") is not None  # refreshed, so "b" was evicted
+        assert cache.get("b") is None
+
+    def test_none_key_uncacheable(self):
+        cache = ResultCache()
+        cache.put(None, CachedResponse("x", None))
+        assert cache.get(None) is None
+        assert len(cache) == 0
+
+
+# -- live-server tests ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(
+        workers=2, max_inflight=8, request_timeout=60.0, debug_ops=True
+    )
+    with ServerThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with connect(*server.address) as c:
+        yield c
+
+
+class TestServeBasics:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_compile_roundtrip(self, client):
+        env = client.request("compile", source=ADD_SRC)
+        assert env["result"]["functions"] == ["add", "main"]
+        assert env["result"]["digest"] == source_digest(ADD_SRC)
+
+    def test_malformed_json_keeps_connection_usable(self, client):
+        client.send_raw(b"{this is not json\n")
+        envelope = client.read_envelope()
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "bad-request"
+        assert client.ping() is True  # connection survived
+
+    def test_unknown_op(self, client):
+        envelope = client.request_raw({"op": "launch-missiles"})
+        assert envelope["error"]["code"] == "unknown-op"
+
+    def test_non_object_request(self, client):
+        client.send_raw(b"[1, 2, 3]\n")
+        envelope = client.read_envelope()
+        assert envelope["error"]["code"] == "bad-request"
+
+    def test_oversized_line_rejected(self, server):
+        with connect(*server.address) as big:
+            payload = b'{"op": "compile", "source": "' + b"x" * (
+                DEFAULT_MAX_REQUEST_BYTES + 4096
+            ) + b'"}\n'
+            big.send_raw(payload)
+            envelope = big.read_envelope()
+            assert envelope["error"]["code"] == "too-large"
+            # the connection is closed after an unframeable line
+            with pytest.raises(ConnectionError):
+                big.request_raw({"op": "ping"})
+
+    def test_worker_error_reported_as_internal(self, client):
+        envelope = client.request_raw(
+            {"op": "compile", "source": "int main( {{{"}
+        )
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "internal"
+
+
+class TestServeCache:
+    def test_cache_hit_bit_identical(self, client):
+        first = client.request("compile", source=LOCALS_SRC, opt=1)
+        second = client.request("compile", source=LOCALS_SRC, opt=1)
+        assert first["cached"] is False or first["cached"] is True
+        assert second["cached"] is True
+        # bit-identical payload: same canonical serialization
+        assert json.dumps(first["result"], sort_keys=True) == json.dumps(
+            second["result"], sort_keys=True
+        )
+
+    def test_analyze_shared_across_tenants(self, client):
+        a = client.request("analyze", source=LOCALS_SRC, tenant="t-one")
+        b = client.request("analyze", source=LOCALS_SRC, tenant="t-two")
+        assert b["cached"] is True
+        assert a["result"] == b["result"]
+
+
+class TestServeTenants:
+    def test_tenant_layouts_diverge(self, client):
+        acme = client.request("harden", source=LOCALS_SRC, tenant="acme")
+        bravo = client.request("harden", source=LOCALS_SRC, tenant="bravo")
+        again = client.request("harden", source=LOCALS_SRC, tenant="acme")
+        assert acme["result"]["outcome"] == "exit"
+        # different tenants: same program, different frame layouts
+        assert (
+            acme["result"]["layout_digest"] != bravo["result"]["layout_digest"]
+        )
+        # same tenant: deterministic layout, served from cache
+        assert again["cached"] is True
+        assert acme["result"] == again["result"]
+
+    def test_tenant_seed_reported(self, client):
+        env = client.request("harden", source=LOCALS_SRC, tenant="acme")
+        assert env["result"]["tenant_seed"] == tenant_seed(
+            "acme", ServeConfig().tenant_salt
+        )
+
+
+class TestServeStreaming:
+    def test_trace_stream_shape(self, client):
+        header, events = client.stream_all("trace", source=ADD_SRC)
+        assert header["stream"] is True
+        assert header["result"]["outcome"] == "exit"
+        assert header["result"]["events"] == len(events)
+        assert any(event.get("ev") == "call" for event in events)
+
+    def test_stream_cache_replays_same_events(self, client):
+        first_header, first = client.stream_all("trace", source=LOCALS_SRC)
+        second_header, second = client.stream_all("trace", source=LOCALS_SRC)
+        assert second_header["cached"] is True
+        assert [json.dumps(e, sort_keys=True) for e in first] == [
+            json.dumps(e, sort_keys=True) for e in second
+        ]
+
+    def test_disconnect_mid_stream_recovers(self, server):
+        raw = connect(*server.address)
+        raw.request_raw({"op": "trace", "source": LOCALS_SRC})
+        # read the header only, then vanish mid-stream
+        raw.sock.close()
+        # the server must shrug it off and keep serving others
+        with connect(*server.address) as fresh:
+            assert fresh.ping() is True
+
+    def test_synth_over_the_wire(self, client):
+        env = client.request(
+            "synth",
+            source=VICTIM_SRC,
+            goal="corrupt:main.t=7",
+            defenses=["baseline"],
+            restarts=2,
+        )
+        counts = env["result"]["counts"]
+        assert counts["victims"] == 1
+        assert counts["errors"] == 0
+
+
+class TestServeMetrics:
+    def test_worker_metrics_cross_process_boundary(self, client):
+        source = "int main() { return %d; }" % int(time.time() * 1000 % 100000)
+        client.request("compile", source=source)
+        snapshot = client.metrics()["snapshot"]
+        worker_jobs = sum(
+            value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("serve_worker_jobs_total")
+        )
+        stats = client.stats()
+        # every completed worker job shipped its delta home
+        assert worker_jobs == stats["worker_jobs_completed"]
+        assert worker_jobs >= 1
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert stats["cache"]["max_entries"] == 512
+        assert stats["requests_total"] >= 1
+
+
+class TestServeLimits:
+    """Deadline + back-pressure behavior on a deliberately tiny server."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        config = ServeConfig(
+            workers=1,
+            max_inflight=1,
+            request_timeout=0.4,
+            retry_after=0.02,
+            debug_ops=True,
+        )
+        with ServerThread(config) as thread:
+            yield thread
+
+    def test_timeout_cancels_request(self, tiny):
+        with connect(*tiny.address) as c:
+            started = time.monotonic()
+            envelope = c.request_raw({"op": "sleep", "seconds": 5.0})
+            elapsed = time.monotonic() - started
+            assert envelope["error"]["code"] == "timeout"
+            assert elapsed < 3.0  # did not wait out the sleep
+            # wait for the hung worker to finish so later tests aren't
+            # queued behind it (and the late completion is harvested)
+            time.sleep(5.2)
+            stats = c.stats()
+            assert stats["timeouts_total"] >= 1
+            assert stats["late_completions_total"] >= 1
+
+    def test_overload_rejected_with_retry_after(self, tiny):
+        with connect(*tiny.address) as busy, connect(*tiny.address) as spare:
+            outcome = {}
+
+            def hog():
+                outcome["env"] = busy.request_raw(
+                    {"op": "sleep", "seconds": 0.3}
+                )
+
+            thread = threading.Thread(target=hog)
+            thread.start()
+            time.sleep(0.1)  # let the hog occupy the only slot
+            rejected = spare.request_raw({"op": "sleep", "seconds": 0.1})
+            thread.join()
+            assert rejected["error"]["code"] == "overloaded"
+            assert rejected["error"]["retry_after"] == 0.02
+            assert outcome["env"]["ok"] is True
+            # rejected clients can retry successfully once drained
+            retried = spare.request_raw({"op": "sleep", "seconds": 0.05})
+            assert retried["ok"] is True
